@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks of the analytical model: the math that the
+//! fairness engine re-runs every Δ cycles must be cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soe_model::sweep::{f_sweep, figure3_configs};
+use soe_model::{
+    estimate_thread, ipsw_quotas, CounterSample, FairnessLevel, SoeModel, SystemParams, ThreadModel,
+};
+use std::hint::black_box;
+
+fn threads(n: usize) -> Vec<ThreadModel> {
+    (0..n)
+        .map(|i| ThreadModel::new(1.0 + i as f64 * 0.3, 500.0 * (i + 1) as f64))
+        .collect()
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model/analyze");
+    for n in [2usize, 4, 8, 16] {
+        let model = SoeModel::new(threads(n), SystemParams::default());
+        g.bench_with_input(BenchmarkId::from_parameter(n), &model, |b, m| {
+            b.iter(|| black_box(m.analyze(FairnessLevel::HALF)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_quotas(c: &mut Criterion) {
+    let t = threads(4);
+    let params = SystemParams::default();
+    c.bench_function("model/ipsw_quotas/4-threads", |b| {
+        b.iter(|| black_box(ipsw_quotas(&t, params, FairnessLevel::QUARTER)));
+    });
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let sample = CounterSample {
+        instrs: 123_456,
+        cycles: 98_765,
+        misses: 321,
+    };
+    c.bench_function("model/estimate_thread", |b| {
+        b.iter(|| black_box(estimate_thread(sample, 300.0)));
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let cfg = figure3_configs().remove(0);
+    c.bench_function("model/f_sweep/20-steps", |b| {
+        b.iter(|| black_box(f_sweep(&cfg.model, 20)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_analyze,
+    bench_quotas,
+    bench_estimate,
+    bench_sweep
+);
+criterion_main!(benches);

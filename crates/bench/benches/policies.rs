@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the fairness mechanism's hot paths: the
+//! per-retirement deficit-counter update, the per-cycle policy hook and
+//! the Δ-periodic recalculation. These run inside the simulated
+//! machine's innermost loop, so they must be a handful of nanoseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soe_core::{DeficitCounter, Estimator, FairnessConfig, FairnessPolicy};
+use soe_model::{CounterSample, FairnessLevel};
+use soe_sim::{SwitchPolicy, ThreadId};
+use std::hint::black_box;
+
+fn bench_deficit(c: &mut Criterion) {
+    c.bench_function("policy/deficit/on_retire", |b| {
+        let mut d = DeficitCounter::new(2.0);
+        d.set_quota(Some(1e12)); // effectively never exhausts
+        d.on_switch_in();
+        b.iter(|| black_box(d.on_retire()));
+    });
+}
+
+fn bench_after_retire(c: &mut Criterion) {
+    c.bench_function("policy/fairness/after_retire", |b| {
+        let mut p = FairnessPolicy::paper(2, FairnessLevel::HALF);
+        p.on_switch_in(ThreadId::new(0), 0);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            black_box(p.after_retire(ThreadId::new(0), now))
+        });
+    });
+}
+
+fn bench_each_cycle(c: &mut Criterion) {
+    c.bench_function("policy/fairness/each_cycle", |b| {
+        let mut p = FairnessPolicy::new(
+            2,
+            FairnessConfig {
+                // A huge delta so the recalculation never triggers inside
+                // the benchmark loop — this measures the common path.
+                delta: u64::MAX / 4,
+                max_cycles_quota: u64::MAX / 8,
+                ..FairnessConfig::paper(FairnessLevel::HALF)
+            },
+        );
+        p.on_switch_in(ThreadId::new(0), 0);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            black_box(p.each_cycle(ThreadId::new(0), now))
+        });
+    });
+}
+
+fn bench_recalc(c: &mut Criterion) {
+    c.bench_function("policy/estimator/recalc/2-threads", |b| {
+        let mut e = Estimator::new(2, 1, 300.0, false);
+        let mut now = 0u64;
+        let mut s = [CounterSample::default(); 2];
+        b.iter(|| {
+            now += 250_000;
+            s[0].instrs += 200_000;
+            s[0].cycles += 180_000;
+            s[0].misses += 40;
+            s[1].instrs += 50_000;
+            s[1].cycles += 60_000;
+            s[1].misses += 400;
+            black_box(e.recalc(now, &s, FairnessLevel::HALF))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_deficit,
+    bench_after_retire,
+    bench_each_cycle,
+    bench_recalc
+);
+criterion_main!(benches);

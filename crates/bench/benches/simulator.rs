@@ -1,0 +1,130 @@
+//! Criterion benchmarks of the simulator substrate: simulated cycles per
+//! second for representative workload classes, plus the memory-hierarchy
+//! and branch-predictor hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use soe_sim::config::PredictorConfig;
+use soe_sim::frontend::Gshare;
+use soe_sim::mem::Hierarchy;
+use soe_sim::{AluTrace, Machine, MachineConfig, NeverSwitch, SwitchOnEvent};
+use soe_workloads::{spec, Pair, SyntheticTrace};
+use std::hint::black_box;
+
+const CYCLES: u64 = 50_000;
+
+fn machine_for(name: &str) -> Machine {
+    let t = SyntheticTrace::new(spec::profile(name).expect("known"), 0x10_0000_0000, 0);
+    Machine::new(
+        MachineConfig::default(),
+        vec![Box::new(t)],
+        Box::new(NeverSwitch::new()),
+    )
+}
+
+fn bench_single_thread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/single-thread");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.sample_size(10);
+    for name in ["eon", "gcc", "mcf"] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), name, |b, n| {
+            // A warmed machine per batch; run_cycles(CYCLES) per iter.
+            let mut m = machine_for(n);
+            m.run_cycles(200_000);
+            b.iter(|| {
+                m.run_cycles(CYCLES);
+                black_box(m.stats().total_retired())
+            });
+        });
+    }
+    g.bench_function("alu-peak", |b| {
+        let mut m = Machine::new(
+            MachineConfig::default(),
+            vec![Box::new(AluTrace::new())],
+            Box::new(NeverSwitch::new()),
+        );
+        m.run_cycles(100_000);
+        b.iter(|| {
+            m.run_cycles(CYCLES);
+            black_box(m.stats().total_retired())
+        });
+    });
+    g.finish();
+}
+
+fn bench_soe_pair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/soe-pair");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.sample_size(10);
+    for pair in [
+        Pair { a: "gcc", b: "eon" },
+        Pair {
+            a: "mcf",
+            b: "swim",
+        },
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(pair.label()), &pair, |b, p| {
+            let mut m = Machine::new(
+                MachineConfig::default(),
+                p.boxed_traces(),
+                Box::new(SwitchOnEvent::new()),
+            );
+            m.run_cycles(200_000);
+            b.iter(|| {
+                m.run_cycles(CYCLES);
+                black_box(m.stats().total_switches)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/hierarchy");
+    g.bench_function("l1-hit", |b| {
+        let mut h = Hierarchy::new(&MachineConfig::default());
+        h.access_data(0, 0x1000, false);
+        let mut now = 1_000u64;
+        b.iter(|| {
+            now += 4;
+            black_box(h.access_data(now, 0x1000, false))
+        });
+    });
+    g.bench_function("l2-miss-stream", |b| {
+        let mut h = Hierarchy::new(&MachineConfig::default());
+        let mut now = 0u64;
+        let mut addr = 0x100_0000u64;
+        b.iter(|| {
+            now += 400;
+            addr += 64;
+            black_box(h.access_data(now, addr, false))
+        });
+    });
+    g.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let cfg = PredictorConfig {
+        history_bits: 12,
+        pht_bits: 14,
+        btb_entries: 2048,
+        mispredict_penalty: 14,
+        kind: Default::default(),
+    };
+    c.bench_function("sim/gshare/predict_and_train", |b| {
+        let mut p = Gshare::new(cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(p.predict_and_train(0x40 + (i % 64) * 4, i.is_multiple_of(3)))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_thread,
+    bench_soe_pair,
+    bench_hierarchy,
+    bench_predictor
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the workload layer: micro-op generation is on
+//! the simulator's critical path (one call per fetched micro-op, plus
+//! replays), so it must stay cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use soe_sim::TraceSource;
+use soe_workloads::{analyze_trace, spec, LitFile, SyntheticTrace};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads/uop_at");
+    g.throughput(Throughput::Elements(1));
+    for name in ["eon", "gcc", "mcf"] {
+        let t = SyntheticTrace::new(spec::profile(name).expect("known"), 0x10_0000_0000, 0);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &t, |b, t| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(t.uop_at(i))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_litfile(c: &mut Criterion) {
+    let t = SyntheticTrace::new(spec::profile("swim").expect("known"), 0x10_0000_0000, 0);
+    let lit = LitFile::record(&t, 0, 64 * 1024);
+    c.bench_function("workloads/litfile/replay", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(lit.uop_at(i))
+        });
+    });
+    c.bench_function("workloads/litfile/encode-64k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(64 * 1024 * 25);
+            lit.write_to(&mut buf).expect("write");
+            black_box(buf.len())
+        });
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let t = SyntheticTrace::new(spec::profile("gcc").expect("known"), 0x10_0000_0000, 0);
+    c.bench_function("workloads/analyze-50k", |b| {
+        b.iter(|| black_box(analyze_trace(&t, 0, 50_000)));
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_litfile, bench_analysis);
+criterion_main!(benches);

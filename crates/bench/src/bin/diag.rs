@@ -1,0 +1,51 @@
+//! Miss-source diagnostic: decomposes a profile's L2 misses into data,
+//! page-walk and instruction-fetch components by selectively disabling
+//! each memory-behaviour knob. Used to verify workload calibration.
+
+use soe_sim::{Machine, MachineConfig, NeverSwitch};
+use soe_workloads::{spec, Profile, SyntheticTrace};
+
+fn run(label: &str, profile: Profile) {
+    let t = SyntheticTrace::new(profile, 0x10_0000_0000, 0);
+    let mut m = Machine::new(
+        MachineConfig::default(),
+        vec![Box::new(t)],
+        Box::new(NeverSwitch::new()),
+    );
+    m.run_cycles(2_000_000);
+    let before = m.hierarchy().stats();
+    let r0 = m.stats().total_retired();
+    m.run_cycles(4_000_000);
+    let after = m.hierarchy().stats();
+    let retired = m.stats().total_retired() - r0;
+    let data = after.data_l2_misses - before.data_l2_misses;
+    let walk = after.walk_l2_misses - before.walk_l2_misses;
+    let ifetch = after.ifetch_l2_misses - before.ifetch_l2_misses;
+    println!(
+        "{label:<24} instrs {retired:>9}  data {data:>6}  walk {walk:>5}  ifetch {ifetch:>4}  -> IPM {}",
+        retired / (data + walk).max(1)
+    );
+}
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .filter(|a| a != "--quick")
+        .unwrap_or_else(|| "eon".to_string());
+    let base = spec::profile(&name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    run(&format!("{name} baseline"), base.clone());
+    let mut p = base.clone();
+    p.mem.warm_load_prob = 0.0;
+    run(&format!("{name} no-warm"), p);
+    let mut p = base.clone();
+    p.mem.cold_store_prob = 0.0;
+    run(&format!("{name} no-cold-store"), p);
+    let mut p = base.clone();
+    p.mem.cold_load_prob = 0.0;
+    run(&format!("{name} no-cold-load"), p);
+    let mut p = base;
+    p.mem.warm_load_prob = 0.0;
+    p.mem.cold_store_prob = 0.0;
+    p.mem.cold_load_prob = 0.0;
+    run(&format!("{name} bare"), p);
+}

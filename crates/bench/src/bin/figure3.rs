@@ -1,0 +1,78 @@
+//! Figure 3 — the analytical fairness/throughput tradeoff: relative
+//! throughput as the enforced fairness F sweeps 0 → 1, for thread-pair
+//! combinations with different `IPC_no_miss` and `IPM`.
+
+use soe_bench::{banner, save_svg, sizing_from_args};
+use soe_model::sweep::{f_sweep, figure3_configs};
+use soe_stats::{fnum, Align, Table, TimeSeries};
+
+const STEPS: usize = 20;
+
+fn main() {
+    banner(
+        "Figure 3: effect of fairness enforcement on throughput (analytical model)",
+        sizing_from_args(),
+    );
+
+    let configs = figure3_configs();
+    let mut t = Table::new(
+        std::iter::once("F".to_string())
+            .chain(configs.iter().map(|c| c.label.clone()))
+            .collect(),
+    );
+    for c in 0..=configs.len() {
+        t.align(c, Align::Right);
+    }
+    let sweeps: Vec<_> = configs.iter().map(|c| f_sweep(&c.model, STEPS)).collect();
+    for i in 0..=STEPS {
+        let mut row = vec![fnum(sweeps[0][i].f, 2)];
+        for s in &sweeps {
+            row.push(fnum(s[i].relative, 4));
+        }
+        t.row(row);
+    }
+    println!("{t}");
+
+    println!("\nRelative throughput vs F (1.0 = no enforcement):\n");
+    let mut svg_series = Vec::new();
+    for (cfg, sweep) in configs.iter().zip(&sweeps) {
+        let mut ts = TimeSeries::new(cfg.label.clone());
+        for p in sweep {
+            ts.push(p.f, p.relative);
+        }
+        println!("{}\n", soe_stats::chart::line_chart(&ts, 8, 60));
+        svg_series.push(ts);
+    }
+    save_svg(
+        "figure3",
+        &soe_stats::svg::line_chart(
+            &svg_series,
+            "Figure 3: throughput vs enforced fairness (analytical model)",
+            "enforced fairness F",
+            "relative throughput",
+        ),
+    );
+
+    // The paper's headline observations about this figure.
+    let worst_equal: f64 = sweeps[..3]
+        .iter()
+        .flat_map(|s| s.iter().map(|p| p.relative))
+        .fold(1.0, f64::min);
+    let best_mixed: f64 = sweeps[3..5]
+        .iter()
+        .flat_map(|s| s.iter().map(|p| p.relative))
+        .fold(0.0, f64::max);
+    let worst_mixed: f64 = sweeps[5].iter().map(|p| p.relative).fold(1.0, f64::min);
+    println!(
+        "equal-IPC pairs degrade at most {:.1}% (paper: up to ~4%)",
+        (1.0 - worst_equal) * 100.0
+    );
+    println!(
+        "mixed-IPC pairs can improve up to {:.1}% (paper: up to ~10%)",
+        (best_mixed - 1.0) * 100.0
+    );
+    println!(
+        "mixed-IPC pairs can degrade up to {:.1}% (paper: up to ~15%)",
+        (1.0 - worst_mixed) * 100.0
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 6 — throughput of the 16 thread combinations: per-thread
+//! stacked `IPC_SOE` at F = 0, 1/4, 1/2, 1, next to the single-thread
+//! IPCs, plus the average SOE speedup over single thread.
+
+use soe_bench::{banner, experiments::full_results, sizing_from_args};
+use soe_model::FairnessLevel;
+use soe_stats::{fnum, Align, Summary, Table};
+
+fn main() {
+    let sizing = sizing_from_args();
+    banner("Figure 6: IPC_SOE per pair and fairness level", sizing);
+    let force = std::env::args().any(|a| a == "--force");
+    let results = full_results(sizing, force);
+
+    let mut t = Table::new(vec![
+        "pair".into(),
+        "IPC_ST[0]".into(),
+        "IPC_ST[1]".into(),
+        "F=0 (t0+t1)".into(),
+        "F=1/4".into(),
+        "F=1/2".into(),
+        "F=1".into(),
+    ]);
+    for c in 1..7 {
+        t.align(c, Align::Right);
+    }
+    for p in &results.pairs {
+        let stacked = |i: usize| {
+            let r = &p.runs[i];
+            format!(
+                "{} ({}+{})",
+                fnum(r.throughput, 2),
+                fnum(r.threads[0].ipc_soe, 2),
+                fnum(r.threads[1].ipc_soe, 2)
+            )
+        };
+        t.row(vec![
+            p.label.clone(),
+            fnum(p.singles[0].ipc_st, 2),
+            fnum(p.singles[1].ipc_st, 2),
+            stacked(0),
+            stacked(1),
+            stacked(2),
+            stacked(3),
+        ]);
+    }
+    println!("{t}");
+
+    println!("\nAverage SOE speedup over single thread (paper: 24%, 21%, 19%, 15%):");
+    for (i, f) in FairnessLevel::paper_levels().iter().enumerate() {
+        let s: Summary = results
+            .pairs
+            .iter()
+            .map(|p| p.runs[i].soe_speedup)
+            .collect();
+        println!(
+            "  {}: {:+.1}%  (min {:+.1}%, max {:+.1}%)",
+            f.label(),
+            (s.mean() - 1.0) * 100.0,
+            (s.min().unwrap_or(1.0) - 1.0) * 100.0,
+            (s.max().unwrap_or(1.0) - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 7 — throughput degradation caused by fairness enforcement
+//! (normalized to F = 0) and forced thread switches per 1 000 cycles.
+
+use soe_bench::{banner, experiments::full_results, save_svg, sizing_from_args};
+use soe_stats::{fnum, pearson, Align, Summary, Table};
+
+fn main() {
+    let sizing = sizing_from_args();
+    banner(
+        "Figure 7: throughput degradation and forced switches per 1000 cycles",
+        sizing,
+    );
+    let force = std::env::args().any(|a| a == "--force");
+    let results = full_results(sizing, force);
+
+    let mut t = Table::new(vec![
+        "pair".into(),
+        "rel F=1/4".into(),
+        "rel F=1/2".into(),
+        "rel F=1".into(),
+        "fsw/kc F=1/4".into(),
+        "fsw/kc F=1/2".into(),
+        "fsw/kc F=1".into(),
+    ]);
+    for c in 1..7 {
+        t.align(c, Align::Right);
+    }
+    let mut rel = [Summary::new(), Summary::new(), Summary::new()];
+    for p in &results.pairs {
+        let base = p.runs[0].throughput;
+        let mut row = vec![p.label.clone()];
+        for i in 1..4 {
+            let r = p.runs[i].throughput / base;
+            rel[i - 1].push(r);
+            row.push(fnum(r, 4));
+        }
+        for i in 1..4 {
+            row.push(fnum(p.runs[i].forced_per_kcycle, 3));
+        }
+        t.row(row);
+    }
+    println!("{t}");
+
+    save_svg(
+        "figure7",
+        &soe_stats::svg::bar_chart(
+            &rel.iter()
+                .zip(["F=1/4", "F=1/2", "F=1"])
+                .map(|(s, l)| (l.to_string(), (1.0 - s.mean()) * 100.0))
+                .collect::<Vec<_>>(),
+            "Figure 7: average throughput degradation vs F",
+            "degradation (%)",
+        ),
+    );
+    println!("\nAverage throughput degradation (paper: 2.2%, 3.7%, 7.2%):");
+    for (s, label) in rel.iter().zip(["F=1/4", "F=1/2", "F=1"]) {
+        println!(
+            "  {label}: {:.1}% (worst pair {:.1}%)",
+            (1.0 - s.mean()) * 100.0,
+            (1.0 - s.min().unwrap_or(1.0)) * 100.0
+        );
+    }
+
+    // Correlation between forced switches and throughput loss, which the
+    // paper calls out as high. Pairs where enforcement *helps* (the
+    // Figure 3 improvement region, e.g. swim:bzip2) anticorrelate, so the
+    // strength is reported both with and without them.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut xs_deg = Vec::new();
+    let mut ys_deg = Vec::new();
+    for p in &results.pairs {
+        let base = p.runs[0].throughput;
+        let improves = p.runs[3].throughput > base;
+        for i in 1..4 {
+            let x = p.runs[i].forced_per_kcycle;
+            let y = 1.0 - p.runs[i].throughput / base;
+            xs.push(x);
+            ys.push(y);
+            if !improves {
+                xs_deg.push(x);
+                ys_deg.push(y);
+            }
+        }
+    }
+    println!(
+        "\ncorrelation(forced switches per kcycle, throughput loss) = {:.2} over all pairs,\n\
+         {:.2} over degrading pairs (paper: \"high correlation\")",
+        pearson(&xs, &ys),
+        pearson(&xs_deg, &ys_deg)
+    );
+}

@@ -1,0 +1,123 @@
+//! Figure 8 — achieved fairness with and without enforcement: per-run
+//! values ordered by the F = 0 fairness (left), and the truncated
+//! averages `min(F, achieved)` with standard deviations (right).
+
+use soe_bench::{banner, experiments::full_results, save_svg, sizing_from_args};
+use soe_model::FairnessLevel;
+use soe_stats::{fnum, Align, Summary, Table};
+
+fn main() {
+    let sizing = sizing_from_args();
+    banner(
+        "Figure 8: achieved fairness with and without enforcement",
+        sizing,
+    );
+    let force = std::env::args().any(|a| a == "--force");
+    let results = full_results(sizing, force);
+
+    // Order runs by their achieved fairness without enforcement, as the
+    // paper does.
+    let mut order: Vec<usize> = (0..results.pairs.len()).collect();
+    order.sort_by(|a, b| {
+        results.pairs[*a].runs[0]
+            .fairness
+            .partial_cmp(&results.pairs[*b].runs[0].fairness)
+            .expect("finite fairness")
+    });
+
+    let mut t = Table::new(vec![
+        "pair (ordered by F=0 fairness)".into(),
+        "F=0".into(),
+        "F=1/4".into(),
+        "F=1/2".into(),
+        "F=1".into(),
+    ]);
+    for c in 1..5 {
+        t.align(c, Align::Right);
+    }
+    for idx in &order {
+        let p = &results.pairs[*idx];
+        t.row(vec![
+            p.label.clone(),
+            fnum(p.runs[0].fairness, 3),
+            fnum(p.runs[1].fairness, 3),
+            fnum(p.runs[2].fairness, 3),
+            fnum(p.runs[3].fairness, 3),
+        ]);
+    }
+    println!("{t}");
+
+    let mut svg_series = Vec::new();
+    for (i, f) in FairnessLevel::paper_levels().iter().enumerate() {
+        let mut ts = soe_stats::TimeSeries::new(f.label());
+        for (rank, idx) in order.iter().enumerate() {
+            ts.push(rank as f64, results.pairs[*idx].runs[i].fairness);
+        }
+        svg_series.push(ts);
+    }
+    save_svg(
+        "figure8",
+        &soe_stats::svg::line_chart(
+            &svg_series,
+            "Figure 8: achieved fairness per run (ordered by F=0 fairness)",
+            "run (ordered by F=0 fairness)",
+            "achieved fairness",
+        ),
+    );
+
+    // Right panel: average of min(F, achieved) — truncation removes the
+    // bias of runs that are fair even without enforcement.
+    println!("\nAverage achieved fairness, truncated to the target (right panel):");
+    for (i, f) in FairnessLevel::paper_levels().iter().enumerate() {
+        let s: Summary = results
+            .pairs
+            .iter()
+            .map(|p| {
+                let a = p.runs[i].fairness;
+                if f.is_enforced() {
+                    a.min(f.get())
+                } else {
+                    a
+                }
+            })
+            .collect();
+        println!(
+            "  {}: mean {:.3}, std {:.3}{}",
+            f.label(),
+            s.mean(),
+            s.std_dev(),
+            if f.is_enforced() {
+                format!("  (target {:.2})", f.get())
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    // The abstract's headline: over a third of F=0 runs are badly unfair.
+    let bad = results
+        .pairs
+        .iter()
+        .filter(|p| p.runs[0].fairness < 0.1)
+        .count();
+    println!(
+        "\n{} of {} F=0 runs have fairness < 0.1 (paper: over a third of runs, \
+         one thread 10-100x slower)",
+        bad,
+        results.pairs.len()
+    );
+    for p in &results.pairs {
+        let r = &p.runs[0];
+        if r.fairness < 0.1 {
+            let slow = r
+                .threads
+                .iter()
+                .map(|t| 1.0 / t.speedup.max(1e-9))
+                .fold(0.0f64, f64::max);
+            println!(
+                "  {}: fairness {:.3}, slowest thread {:.0}x slower",
+                p.label, r.fairness, slow
+            );
+        }
+    }
+}

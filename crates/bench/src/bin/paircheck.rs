@@ -1,0 +1,49 @@
+//! Fast pair-level sanity check: SOE speedup over single-thread at F=0
+//! and F=1 for a handful of pairs, with reduced windows. Used while
+//! calibrating the workload profiles.
+
+use soe_core::runner::{run_pair, run_singles, RunConfig};
+use soe_model::FairnessLevel;
+use soe_workloads::Pair;
+
+fn main() {
+    let mut cfg = RunConfig::paper();
+    cfg.warmup_cycles = 1_000_000;
+    cfg.measure_cycles = 3_000_000;
+    let pairs = [
+        Pair { a: "gcc", b: "gcc" },
+        Pair {
+            a: "bzip2",
+            b: "bzip2",
+        },
+        Pair {
+            a: "swim",
+            b: "bzip2",
+        },
+        Pair { a: "mcf", b: "mcf" },
+        Pair { a: "gcc", b: "eon" },
+        Pair {
+            a: "swim",
+            b: "swim",
+        },
+    ];
+    println!(
+        "{:<14} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "pair", "ST[0]", "ST[1]", "F0 tput", "F0 spd%", "F1 tput", "F0 fair"
+    );
+    for pair in pairs {
+        let singles = run_singles(&pair, &cfg);
+        let f0 = run_pair(&pair, FairnessLevel::NONE, &singles, &cfg);
+        let f1 = run_pair(&pair, FairnessLevel::PERFECT, &singles, &cfg);
+        println!(
+            "{:<14} {:>8.3} {:>8.3} {:>9.3} {:>8.1}% {:>9.3} {:>9.3}",
+            pair.label(),
+            singles[0].ipc_st,
+            singles[1].ipc_st,
+            f0.throughput,
+            (f0.soe_speedup - 1.0) * 100.0,
+            f1.throughput,
+            f0.fairness,
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! The shared experiment engine: runs the paper's full evaluation matrix
+//! (16 pairs × {F = 0, 1/4, 1/2, 1}, plus the 12 single-thread
+//! references) once, and caches the results as JSON so every figure
+//! binary can reuse them.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+use soe_core::runner::{run_pair, run_single, RunConfig};
+use soe_core::{PairRun, SingleRun};
+use soe_model::FairnessLevel;
+use soe_workloads::pairs::paper_pairs;
+
+use crate::Sizing;
+
+/// All runs of one pair: the two references plus one run per F level
+/// (in [`FairnessLevel::paper_levels`] order).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairResults {
+    /// `"gcc:eon"`.
+    pub label: String,
+    /// Single-thread references, in thread order.
+    pub singles: Vec<SingleRun>,
+    /// SOE runs at F = 0, 1/4, 1/2, 1.
+    pub runs: Vec<PairRun>,
+}
+
+/// The complete result set behind Figures 6–8.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResultSet {
+    /// Per-pair results, in [`paper_pairs`] order.
+    pub pairs: Vec<PairResults>,
+}
+
+impl ResultSet {
+    /// The run at level `f` for each pair.
+    pub fn at_level(&self, f: FairnessLevel) -> Vec<&PairRun> {
+        self.pairs
+            .iter()
+            .map(|p| {
+                p.runs
+                    .iter()
+                    .find(|r| r.target == Some(f))
+                    .expect("every pair has every level")
+            })
+            .collect()
+    }
+}
+
+fn cache_path(sizing: Sizing) -> PathBuf {
+    let dir = std::env::var("SOE_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let name = match sizing {
+        Sizing::Full => "experiments-full.json",
+        Sizing::Quick => "experiments-quick.json",
+    };
+    PathBuf::from(dir).join(name)
+}
+
+/// Loads the cached result set for `sizing`, or runs the full matrix and
+/// caches it. Pass `force` to ignore an existing cache.
+///
+/// # Panics
+///
+/// Panics if the cache file exists but cannot be parsed (delete it), or
+/// the cache directory cannot be written.
+pub fn full_results(sizing: Sizing, force: bool) -> ResultSet {
+    let path = cache_path(sizing);
+    if !force {
+        if let Ok(json) = fs::read_to_string(&path) {
+            match serde_json::from_str::<ResultSet>(&json) {
+                Ok(set) => {
+                    eprintln!(
+                        "[experiments] loaded cached results from {}",
+                        path.display()
+                    );
+                    return set;
+                }
+                Err(e) => panic!(
+                    "corrupt results cache {} ({e}); delete it and re-run",
+                    path.display()
+                ),
+            }
+        }
+    }
+    let set = run_matrix(&crate::run_config(sizing));
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).expect("create results directory");
+    }
+    fs::write(
+        &path,
+        serde_json::to_string(&set).expect("serialize results"),
+    )
+    .expect("write results cache");
+    eprintln!("[experiments] wrote results cache to {}", path.display());
+    set
+}
+
+/// Runs the full matrix at `cfg` without caching.
+pub fn run_matrix(cfg: &RunConfig) -> ResultSet {
+    // Single-thread references are per benchmark, not per pair — measure
+    // each of the 12 once.
+    let mut singles: HashMap<String, SingleRun> = HashMap::new();
+    let pairs = paper_pairs();
+    for pair in &pairs {
+        for name in [pair.a, pair.b] {
+            if !singles.contains_key(name) {
+                eprintln!("[experiments] single-thread reference: {name}");
+                let profile = soe_workloads::spec::profile(name).expect("known benchmark");
+                let trace = soe_workloads::SyntheticTrace::new(profile, 0x10_0000_0000, 0);
+                singles.insert(name.to_string(), run_single(Box::new(trace), cfg));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for pair in &pairs {
+        eprintln!("[experiments] pair {}", pair.label());
+        let pair_singles = [singles[pair.a].clone(), singles[pair.b].clone()];
+        let runs = FairnessLevel::paper_levels()
+            .iter()
+            .map(|f| run_pair(pair, *f, &pair_singles, cfg))
+            .collect();
+        out.push(PairResults {
+            label: pair.label(),
+            singles: pair_singles.to_vec(),
+            runs,
+        });
+    }
+    ResultSet { pairs: out }
+}

@@ -1,0 +1,89 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper; this library provides the common experiment sizing and output
+//! conventions. Pass `--quick` to any binary for a scaled-down run
+//! (useful for smoke-testing; the full runs are what `EXPERIMENTS.md`
+//! records).
+
+pub mod experiments;
+
+use soe_core::runner::RunConfig;
+
+/// Experiment sizing selected from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sizing {
+    /// Full-size runs (the defaults used in EXPERIMENTS.md).
+    Full,
+    /// Scaled-down smoke runs (`--quick`).
+    Quick,
+}
+
+/// Parses the standard binary arguments (`--quick`).
+pub fn sizing_from_args() -> Sizing {
+    if std::env::args().any(|a| a == "--quick") {
+        Sizing::Quick
+    } else {
+        Sizing::Full
+    }
+}
+
+/// The run configuration for a sizing.
+pub fn run_config(sizing: Sizing) -> RunConfig {
+    match sizing {
+        Sizing::Full => RunConfig::paper(),
+        Sizing::Quick => RunConfig::quick(),
+    }
+}
+
+/// Writes an SVG figure next to the cached results
+/// (`$SOE_RESULTS_DIR/reports/<name>.svg`, default `results/reports/`)
+/// and prints where it went.
+pub fn save_svg(name: &str, svg: &str) {
+    let dir = std::path::PathBuf::from(
+        std::env::var("SOE_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()),
+    )
+    .join("reports");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("[svg] cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.svg"));
+    match std::fs::write(&path, svg) {
+        Ok(()) => println!("[svg] wrote {}", path.display()),
+        Err(e) => eprintln!("[svg] cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Prints a figure/table header banner.
+pub fn banner(title: &str, sizing: Sizing) {
+    println!("==========================================================");
+    println!("{title}");
+    println!(
+        "(sizing: {})",
+        match sizing {
+            Sizing::Full => "full",
+            Sizing::Quick => "quick (--quick)",
+        }
+    );
+    println!("==========================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_config_is_paper_sized() {
+        let c = run_config(Sizing::Full);
+        assert_eq!(c.fairness.delta, 250_000);
+        assert_eq!(c.fairness.max_cycles_quota, 50_000);
+    }
+
+    #[test]
+    fn quick_config_is_smaller() {
+        let full = run_config(Sizing::Full);
+        let quick = run_config(Sizing::Quick);
+        assert!(quick.measure_cycles < full.measure_cycles);
+    }
+}

@@ -1,0 +1,152 @@
+//! Result types and metrics of a measured SOE run.
+
+use serde::{Deserialize, Serialize};
+use soe_model::{fairness_of, harmonic_mean_fairness, weighted_speedup, FairnessLevel};
+
+/// One thread's outcome in a measured SOE run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadOutcome {
+    /// Workload name.
+    pub name: String,
+    /// Instructions retired in the measurement window.
+    pub retired: u64,
+    /// `IPC_SOE_j`: retired over total window cycles.
+    pub ipc_soe: f64,
+    /// Real `IPC_ST_j`, measured by running the thread alone.
+    pub ipc_st: f64,
+    /// `IPC_SOE_j / IPC_ST_j`.
+    pub speedup: f64,
+}
+
+/// A measured two-(or N-)thread SOE run under one policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairRun {
+    /// Pair label (`"gcc:eon"`).
+    pub label: String,
+    /// Policy name (`"fairness(F=1/2)"`, `"soe(F=0)"`, ...).
+    pub policy: String,
+    /// Target fairness when the fairness mechanism was in use.
+    pub target: Option<FairnessLevel>,
+    /// Measurement window length in cycles.
+    pub cycles: u64,
+    /// Per-thread outcomes.
+    pub threads: Vec<ThreadOutcome>,
+    /// Eq 10 — total SOE throughput (sum of per-thread IPCs).
+    pub throughput: f64,
+    /// Eq 4 — achieved fairness (min speedup ratio).
+    pub fairness: f64,
+    /// Snavely et al.'s weighted speedup (Section 6 comparison).
+    pub weighted_speedup: f64,
+    /// Luo et al.'s harmonic mean of speedups (Section 6 comparison).
+    pub harmonic_fairness: f64,
+    /// Throughput relative to time-multiplexed single-thread execution.
+    pub soe_speedup: f64,
+    /// All thread switches in the window.
+    pub total_switches: u64,
+    /// Switches that hid a last-level miss.
+    pub event_switches: u64,
+    /// Switches forced by the policy (hide nothing).
+    pub forced_switches: u64,
+    /// Forced switches per 1 000 cycles (Figure 7's secondary axis).
+    pub forced_per_kcycle: f64,
+    /// Average measured switch latency in cycles.
+    pub avg_switch_latency: f64,
+}
+
+impl PairRun {
+    /// Computes the derived metrics from per-thread outcomes; used by the
+    /// runner after filling in the raw counters.
+    pub fn finalize(&mut self) {
+        let speedups: Vec<f64> = self.threads.iter().map(|t| t.speedup).collect();
+        self.throughput = self.threads.iter().map(|t| t.ipc_soe).sum();
+        self.fairness = fairness_of(&speedups);
+        self.weighted_speedup = weighted_speedup(&speedups);
+        self.harmonic_fairness = harmonic_mean_fairness(&speedups);
+        let recip: f64 = self.threads.iter().map(|t| 1.0 / t.ipc_st).sum();
+        let single = self.threads.len() as f64 / recip;
+        self.soe_speedup = self.throughput / single;
+        self.forced_per_kcycle = if self.cycles == 0 {
+            0.0
+        } else {
+            self.forced_switches as f64 * 1_000.0 / self.cycles as f64
+        };
+    }
+}
+
+/// A single-thread reference run: the measured ground truth for
+/// `IPC_ST_j` (and the thread's miss characteristics).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SingleRun {
+    /// Workload name.
+    pub name: String,
+    /// Instructions retired in the measurement window.
+    pub retired: u64,
+    /// Window length in cycles.
+    pub cycles: u64,
+    /// Measured single-thread IPC.
+    pub ipc_st: f64,
+    /// Demand L2 misses in the window (loads + TLB walks + stores).
+    pub l2_misses: u64,
+    /// Measured instructions per last-level miss.
+    pub ipm: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(name: &str, ipc_soe: f64, ipc_st: f64) -> ThreadOutcome {
+        ThreadOutcome {
+            name: name.into(),
+            retired: 0,
+            ipc_soe,
+            ipc_st,
+            speedup: ipc_soe / ipc_st,
+        }
+    }
+
+    fn run(threads: Vec<ThreadOutcome>) -> PairRun {
+        let mut r = PairRun {
+            label: "a:b".into(),
+            policy: "test".into(),
+            target: None,
+            cycles: 10_000,
+            threads,
+            throughput: 0.0,
+            fairness: 0.0,
+            weighted_speedup: 0.0,
+            harmonic_fairness: 0.0,
+            soe_speedup: 0.0,
+            total_switches: 0,
+            event_switches: 0,
+            forced_switches: 5,
+            forced_per_kcycle: 0.0,
+            avg_switch_latency: 0.0,
+        };
+        r.finalize();
+        r
+    }
+
+    #[test]
+    fn finalize_computes_throughput_and_fairness() {
+        let r = run(vec![outcome("a", 1.0, 2.0), outcome("b", 0.25, 1.0)]);
+        assert!((r.throughput - 1.25).abs() < 1e-12);
+        assert!((r.fairness - 0.5).abs() < 1e-12);
+        assert!((r.weighted_speedup - 0.75).abs() < 1e-12);
+        assert!((r.forced_per_kcycle - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soe_speedup_compares_against_harmonic_single() {
+        let r = run(vec![outcome("a", 1.0, 2.0), outcome("b", 1.0, 2.0)]);
+        // Time-multiplexed single-thread throughput would be 2.0.
+        assert!((r.soe_speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starved_thread_zeroes_fairness_and_harmonic() {
+        let r = run(vec![outcome("a", 1.9, 2.0), outcome("b", 0.0, 1.0)]);
+        assert_eq!(r.fairness, 0.0);
+        assert_eq!(r.harmonic_fairness, 0.0);
+    }
+}

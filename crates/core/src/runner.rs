@@ -1,0 +1,351 @@
+//! The experiment runner: single-thread reference runs and SOE pair runs
+//! under any policy, following the paper's methodology (warm up, reset
+//! statistics, measure).
+
+use soe_model::FairnessLevel;
+use soe_sim::{Machine, MachineConfig, NeverSwitch, SwitchPolicy, TraceSource};
+use soe_workloads::Pair;
+
+use crate::metrics::{PairRun, SingleRun, ThreadOutcome};
+use crate::policy::{FairnessConfig, FairnessPolicy, TimeSlicePolicy};
+
+/// Experiment sizing: how long to warm up and measure.
+///
+/// The paper warms caches with 10 M instructions and measures ≥ 6 M
+/// instructions per thread. Because a starved thread (the phenomenon
+/// under study!) may retire arbitrarily slowly, this reproduction sizes
+/// runs in *cycles*: per-thread IPCs are well-defined over any window,
+/// and unfair runs do not take unbounded wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Simulated machine parameters.
+    pub machine: MachineConfig,
+    /// Warm-up cycles (statistics discarded).
+    pub warmup_cycles: u64,
+    /// Measurement window in cycles.
+    pub measure_cycles: u64,
+    /// Fairness-mechanism parameters (the target is overridden per run).
+    pub fairness: FairnessConfig,
+}
+
+impl RunConfig {
+    /// Full-size runs with the paper's mechanism parameters
+    /// (Δ = 250 000, 50 000-cycle quota, 300-cycle memory).
+    pub fn paper() -> Self {
+        Self {
+            machine: MachineConfig::default(),
+            warmup_cycles: 2_000_000,
+            measure_cycles: 8_000_000,
+            fairness: FairnessConfig::paper(FairnessLevel::NONE),
+        }
+    }
+
+    /// Scaled-down runs for tests: a smaller machine-warmup and window
+    /// with a proportionally smaller Δ and cycle quota.
+    pub fn quick() -> Self {
+        Self {
+            machine: MachineConfig::default(),
+            warmup_cycles: 300_000,
+            measure_cycles: 1_200_000,
+            fairness: FairnessConfig {
+                target: FairnessLevel::NONE,
+                delta: 50_000,
+                max_cycles_quota: 20_000,
+                miss_lat: 300.0,
+                miss_lat_mode: Default::default(),
+                deficit_cap: 2.0,
+                min_quota_cycles: 600,
+                record_history: true,
+            },
+        }
+    }
+
+    fn with_target(&self, f: FairnessLevel) -> FairnessConfig {
+        FairnessConfig {
+            target: f,
+            ..self.fairness
+        }
+    }
+}
+
+/// Runs `trace` alone on the machine and measures its single-thread
+/// behaviour — the ground-truth `IPC_ST` of Eq 1.
+pub fn run_single(trace: Box<dyn TraceSource>, cfg: &RunConfig) -> SingleRun {
+    let name = trace.name().to_string();
+    let mut m = Machine::new(cfg.machine, vec![trace], Box::new(NeverSwitch::new()));
+    m.run_cycles(cfg.warmup_cycles);
+    let miss_before = {
+        let h = m.hierarchy().stats();
+        h.data_l2_misses + h.walk_l2_misses
+    };
+    m.reset_stats();
+    let start = m.now();
+    m.run_cycles(cfg.measure_cycles);
+    let cycles = m.now() - start;
+    let retired = m.stats().threads[0].retired;
+    let h = m.hierarchy().stats();
+    let l2_misses = h.data_l2_misses + h.walk_l2_misses - miss_before;
+    SingleRun {
+        name,
+        retired,
+        cycles,
+        ipc_st: retired as f64 / cycles as f64,
+        l2_misses,
+        ipm: retired as f64 / l2_misses.max(1) as f64,
+    }
+}
+
+/// Runs `pair` under an arbitrary policy, using previously measured
+/// single-thread results for the speedup denominators.
+///
+/// # Panics
+///
+/// Panics if `singles` does not contain one entry per thread in pair
+/// order.
+pub fn run_pair_with_policy(
+    pair: &Pair,
+    policy: Box<dyn SwitchPolicy>,
+    singles: &[SingleRun],
+    cfg: &RunConfig,
+    target: Option<FairnessLevel>,
+) -> PairRun {
+    assert_eq!(singles.len(), 2, "one single-thread reference per thread");
+    let policy_name = policy.name().to_string();
+    let mut m = Machine::new(cfg.machine, pair.boxed_traces(), policy);
+    m.run_cycles(cfg.warmup_cycles);
+    m.reset_stats();
+    if let Some(p) = m
+        .policy_mut()
+        .as_any_mut()
+        .and_then(|a| a.downcast_mut::<FairnessPolicy>())
+    {
+        p.clear_records();
+    }
+    let start = m.now();
+    m.run_cycles(cfg.measure_cycles);
+    let cycles = m.now() - start;
+    let stats = m.stats().clone();
+
+    let threads: Vec<ThreadOutcome> = singles
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let retired = stats.threads[i].retired;
+            let ipc_soe = retired as f64 / cycles as f64;
+            ThreadOutcome {
+                name: s.name.clone(),
+                retired,
+                ipc_soe,
+                ipc_st: s.ipc_st,
+                speedup: ipc_soe / s.ipc_st,
+            }
+        })
+        .collect();
+    let mut run = PairRun {
+        label: pair.label(),
+        policy: policy_name,
+        target,
+        cycles,
+        threads,
+        throughput: 0.0,
+        fairness: 0.0,
+        weighted_speedup: 0.0,
+        harmonic_fairness: 0.0,
+        soe_speedup: 0.0,
+        total_switches: stats.total_switches,
+        event_switches: stats.threads.iter().map(|t| t.event_switches).sum(),
+        forced_switches: stats.threads.iter().map(|t| t.forced_switches).sum(),
+        forced_per_kcycle: 0.0,
+        avg_switch_latency: stats.avg_switch_latency(),
+    };
+    run.finalize();
+    run
+}
+
+/// Runs `pair` under the paper's fairness mechanism at target `f`
+/// (`F = 0` gives event-only SOE with estimation enabled).
+pub fn run_pair(pair: &Pair, f: FairnessLevel, singles: &[SingleRun], cfg: &RunConfig) -> PairRun {
+    let policy = FairnessPolicy::new(2, cfg.with_target(f));
+    run_pair_with_policy(pair, Box::new(policy), singles, cfg, Some(f))
+}
+
+/// Runs `pair` under the Section 6 time-slicing baseline.
+pub fn run_pair_timeslice(
+    pair: &Pair,
+    quota_cycles: u64,
+    singles: &[SingleRun],
+    cfg: &RunConfig,
+) -> PairRun {
+    run_pair_with_policy(
+        pair,
+        Box::new(TimeSlicePolicy::new(quota_cycles)),
+        singles,
+        cfg,
+        None,
+    )
+}
+
+/// Runs an N-thread group under the fairness mechanism at target `f` —
+/// the paper's equations are N-thread even though its evaluation uses
+/// two.
+///
+/// # Panics
+///
+/// Panics if `singles` does not match `names` in length and order.
+pub fn run_multi(
+    names: &[&str],
+    f: FairnessLevel,
+    singles: &[SingleRun],
+    cfg: &RunConfig,
+) -> PairRun {
+    assert_eq!(singles.len(), names.len(), "one reference per thread");
+    let traces = soe_workloads::pairs::group_traces(names);
+    let policy = FairnessPolicy::new(names.len(), cfg.with_target(f));
+    let policy_name = policy.name().to_string();
+    let mut m = Machine::new(
+        cfg.machine,
+        traces
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn TraceSource>)
+            .collect(),
+        Box::new(policy),
+    );
+    m.run_cycles(cfg.warmup_cycles);
+    m.reset_stats();
+    let start = m.now();
+    m.run_cycles(cfg.measure_cycles);
+    let cycles = m.now() - start;
+    let stats = m.stats().clone();
+    let threads: Vec<ThreadOutcome> = singles
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let retired = stats.threads[i].retired;
+            let ipc_soe = retired as f64 / cycles as f64;
+            ThreadOutcome {
+                name: s.name.clone(),
+                retired,
+                ipc_soe,
+                ipc_st: s.ipc_st,
+                speedup: ipc_soe / s.ipc_st,
+            }
+        })
+        .collect();
+    let mut run = PairRun {
+        label: names.join(":"),
+        policy: policy_name,
+        target: Some(f),
+        cycles,
+        threads,
+        throughput: 0.0,
+        fairness: 0.0,
+        weighted_speedup: 0.0,
+        harmonic_fairness: 0.0,
+        soe_speedup: 0.0,
+        total_switches: stats.total_switches,
+        event_switches: stats.threads.iter().map(|t| t.event_switches).sum(),
+        forced_switches: stats.threads.iter().map(|t| t.forced_switches).sum(),
+        forced_per_kcycle: 0.0,
+        avg_switch_latency: stats.avg_switch_latency(),
+    };
+    run.finalize();
+    run
+}
+
+/// Measures the two single-thread references of a pair.
+pub fn run_singles(pair: &Pair, cfg: &RunConfig) -> [SingleRun; 2] {
+    let (a, b) = pair.traces();
+    [run_single(Box::new(a), cfg), run_single(Box::new(b), cfg)]
+}
+
+/// The complete per-pair experiment: single-thread references plus one
+/// SOE run per fairness level.
+#[derive(Debug, Clone)]
+pub struct PairExperiment {
+    /// The pair.
+    pub pair: Pair,
+    /// Ground-truth single-thread runs.
+    pub singles: [SingleRun; 2],
+    /// One run per requested fairness level, in request order.
+    pub runs: Vec<PairRun>,
+}
+
+/// Runs `pair` at every level in `levels`.
+pub fn run_experiment(pair: &Pair, levels: &[FairnessLevel], cfg: &RunConfig) -> PairExperiment {
+    let singles = run_singles(pair, cfg);
+    let runs = levels
+        .iter()
+        .map(|f| run_pair(pair, *f, &singles, cfg))
+        .collect();
+    PairExperiment {
+        pair: pair.clone(),
+        singles,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soe_workloads::Pair;
+
+    fn tiny_cfg() -> RunConfig {
+        let mut cfg = RunConfig::quick();
+        cfg.warmup_cycles = 400_000;
+        cfg.measure_cycles = 1_000_000;
+        cfg
+    }
+
+    #[test]
+    fn single_run_measures_sane_ipc() {
+        let pair = Pair {
+            a: "swim",
+            b: "eon",
+        };
+        let (a, _) = pair.traces();
+        let s = run_single(Box::new(a), &tiny_cfg());
+        assert!(s.ipc_st > 0.1 && s.ipc_st < 4.0, "ipc {}", s.ipc_st);
+        assert!(s.l2_misses > 0, "swim must miss");
+        assert!(s.ipm > 10.0, "ipm {}", s.ipm);
+    }
+
+    #[test]
+    fn pair_run_produces_consistent_metrics() {
+        let pair = Pair {
+            a: "swim",
+            b: "eon",
+        };
+        let cfg = tiny_cfg();
+        let singles = run_singles(&pair, &cfg);
+        let run = run_pair(&pair, FairnessLevel::NONE, &singles, &cfg);
+        assert_eq!(run.threads.len(), 2);
+        assert!(run.throughput > 0.0);
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&run.fairness),
+            "fairness {}",
+            run.fairness
+        );
+        let sum: f64 = run.threads.iter().map(|t| t.ipc_soe).sum();
+        assert!((run.throughput - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enforcement_improves_fairness_for_unfair_pair() {
+        // swim misses constantly; eon barely — strongly unfair at F=0.
+        let pair = Pair {
+            a: "swim",
+            b: "eon",
+        };
+        let cfg = tiny_cfg();
+        let singles = run_singles(&pair, &cfg);
+        let f0 = run_pair(&pair, FairnessLevel::NONE, &singles, &cfg);
+        let f1 = run_pair(&pair, FairnessLevel::PERFECT, &singles, &cfg);
+        assert!(
+            f1.fairness > f0.fairness,
+            "F=1 fairness {} must beat F=0 fairness {}",
+            f1.fairness,
+            f0.fairness
+        );
+        assert!(f1.forced_switches > 0, "enforcement must force switches");
+    }
+}

@@ -1,0 +1,149 @@
+//! Conversions from the fairness engine's Δ-window records to plottable
+//! time series — the three panels of the paper's Figure 5.
+
+use soe_model::fairness_of;
+use soe_stats::TimeSeries;
+
+use crate::estimator::WindowRecord;
+
+/// Per-thread estimated `IPC_ST` over time (Figure 5, top panel).
+///
+/// # Panics
+///
+/// Panics if `names` does not match the records' thread count.
+pub fn estimated_ipc_st_series(records: &[WindowRecord], names: &[&str]) -> Vec<TimeSeries> {
+    check(records, names.len());
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let mut ts = TimeSeries::new(format!("est_ipc_st[{name}]"));
+            for r in records {
+                ts.push(r.at as f64, r.estimates[i].ipc_st);
+            }
+            ts
+        })
+        .collect()
+}
+
+/// Per-thread *achieved* speedup over time: each window's
+/// `IPC_SOE_j / IPC_ST_j` with the real (measured-alone) `IPC_ST`
+/// (Figure 5, middle panel).
+///
+/// # Panics
+///
+/// Panics if `ipc_st_real` does not match the records' thread count or
+/// contains a non-positive IPC, or `names` mismatches.
+pub fn speedup_series(
+    records: &[WindowRecord],
+    names: &[&str],
+    ipc_st_real: &[f64],
+) -> Vec<TimeSeries> {
+    check(records, names.len());
+    assert_eq!(
+        names.len(),
+        ipc_st_real.len(),
+        "one reference IPC per thread"
+    );
+    assert!(
+        ipc_st_real.iter().all(|x| *x > 0.0),
+        "reference IPCs must be positive"
+    );
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let mut ts = TimeSeries::new(format!("speedup[{name}]"));
+            for r in records {
+                let ipc = r.window_instrs[i] as f64 / r.window_cycles.max(1) as f64;
+                ts.push(r.at as f64, ipc / ipc_st_real[i]);
+            }
+            ts
+        })
+        .collect()
+}
+
+/// Achieved fairness over time: the min speedup ratio per window
+/// (Figure 5, bottom panel).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`speedup_series`].
+pub fn fairness_series(records: &[WindowRecord], ipc_st_real: &[f64]) -> TimeSeries {
+    check(records, ipc_st_real.len());
+    let mut ts = TimeSeries::new("achieved_fairness");
+    for r in records {
+        let speedups: Vec<f64> = ipc_st_real
+            .iter()
+            .enumerate()
+            .map(|(i, st)| (r.window_instrs[i] as f64 / r.window_cycles.max(1) as f64) / st)
+            .collect();
+        ts.push(r.at as f64, fairness_of(&speedups));
+    }
+    ts
+}
+
+fn check(records: &[WindowRecord], threads: usize) {
+    for r in records {
+        assert_eq!(r.estimates.len(), threads, "record thread count mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soe_model::ThreadEstimate;
+
+    fn record(at: u64, instrs: [u64; 2]) -> WindowRecord {
+        WindowRecord {
+            at,
+            window_cycles: 1_000,
+            window_instrs: instrs.to_vec(),
+            estimates: vec![
+                ThreadEstimate {
+                    ipm: 100.0,
+                    cpm: 50.0,
+                    ipc_st: 2.0,
+                },
+                ThreadEstimate {
+                    ipm: 10.0,
+                    cpm: 10.0,
+                    ipc_st: 1.0,
+                },
+            ],
+            quotas: vec![None, None],
+        }
+    }
+
+    #[test]
+    fn estimate_series_tracks_records() {
+        let recs = vec![record(1_000, [500, 100]), record(2_000, [400, 200])];
+        let s = estimated_ipc_st_series(&recs, &["a", "b"]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].len(), 2);
+        assert_eq!(s[0].points()[0].y, 2.0);
+        assert_eq!(s[1].name(), "est_ipc_st[b]");
+    }
+
+    #[test]
+    fn speedups_use_real_reference() {
+        let recs = vec![record(1_000, [1_000, 500])];
+        let s = speedup_series(&recs, &["a", "b"], &[2.0, 1.0]);
+        assert!((s[0].points()[0].y - 0.5).abs() < 1e-12);
+        assert!((s[1].points()[0].y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_series_is_min_ratio() {
+        let recs = vec![record(1_000, [1_000, 250])];
+        let ts = fairness_series(&recs, &[2.0, 1.0]);
+        // speedups: 0.5 and 0.25 → fairness 0.5.
+        assert!((ts.points()[0].y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one reference IPC per thread")]
+    fn mismatched_reference_panics() {
+        speedup_series(&[record(1, [1, 1])], &["a", "b"], &[1.0]);
+    }
+}

@@ -1,0 +1,308 @@
+//! The full SOE analysis: per-thread SOE IPC, speedups, fairness and
+//! throughput under a fairness target (Eq 2, 6, 10).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{fairness_of, ipsw_quotas, FairnessLevel, SystemParams, ThreadModel};
+
+/// A set of threads sharing one SOE core, ready for analysis.
+///
+/// # Examples
+///
+/// ```
+/// use soe_model::{FairnessLevel, SoeModel, SystemParams, ThreadModel};
+///
+/// let m = SoeModel::new(
+///     vec![ThreadModel::new(2.5, 15_000.0), ThreadModel::new(2.5, 1_000.0)],
+///     SystemParams::default(),
+/// );
+/// let a = m.analyze(FairnessLevel::HALF);
+/// assert!(a.fairness >= 0.5 - 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoeModel {
+    threads: Vec<ThreadModel>,
+    params: SystemParams,
+}
+
+/// Analysis results for one thread under SOE.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreadAnalysis {
+    /// Eq 1 — IPC when executed alone on the processor.
+    pub ipc_st: f64,
+    /// Instructions-per-switch quota in effect (Eq 9; `IPM` when `F = 0`).
+    pub ipsw: f64,
+    /// Average execution cycles per scheduling round (`CPSw`).
+    pub cpsw: f64,
+    /// Eq 6 — IPC while running with the other threads under SOE.
+    pub ipc_soe: f64,
+    /// `IPC_SOE / IPC_ST` — the thread's speedup (a slowdown when < 1).
+    pub speedup: f64,
+}
+
+/// Whole-system analysis results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoeAnalysis {
+    /// Fairness level the quotas were computed for.
+    pub target: FairnessLevel,
+    /// Per-thread breakdown, in input order.
+    pub per_thread: Vec<ThreadAnalysis>,
+    /// Eq 10 — total SOE throughput (sum of per-thread SOE IPCs).
+    pub throughput: f64,
+    /// Eq 4 — achieved fairness: min ratio between any two speedups.
+    pub fairness: f64,
+    /// Throughput gain of SOE over time-multiplexed single-thread
+    /// execution of the same threads (see [`SoeModel::single_thread_throughput`]).
+    pub soe_speedup: f64,
+}
+
+impl SoeModel {
+    /// Creates a model over `threads` sharing a machine with `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is empty.
+    pub fn new(threads: Vec<ThreadModel>, params: SystemParams) -> Self {
+        assert!(!threads.is_empty(), "need at least one thread");
+        Self { threads, params }
+    }
+
+    /// The thread models, in input order.
+    pub fn threads(&self) -> &[ThreadModel] {
+        &self.threads
+    }
+
+    /// The machine parameters.
+    pub fn params(&self) -> SystemParams {
+        self.params
+    }
+
+    /// Per-thread single-thread IPCs (Eq 1).
+    pub fn ipc_st(&self) -> Vec<f64> {
+        self.threads.iter().map(|t| t.ipc_st(self.params)).collect()
+    }
+
+    /// Baseline throughput of running the threads one after the other on a
+    /// single-threaded machine, assuming each executes the same number of
+    /// instructions: total instructions over total cycles, i.e. the
+    /// harmonic mean of the per-thread `IPC_ST` values.
+    ///
+    /// This is the comparator behind the paper's "speedup of SOE over
+    /// single thread" (the machine either interleaves the threads with SOE
+    /// or simply time-multiplexes them at coarse granularity with no
+    /// stall-hiding).
+    pub fn single_thread_throughput(&self) -> f64 {
+        let n = self.threads.len() as f64;
+        let recip: f64 = self.ipc_st().iter().map(|ipc| 1.0 / ipc).sum();
+        n / recip
+    }
+
+    /// Full analysis at fairness target `f`: quotas via Eq 9, per-thread
+    /// SOE IPC via Eq 6, throughput via Eq 10 and achieved fairness via
+    /// Eq 4.
+    pub fn analyze(&self, f: FairnessLevel) -> SoeAnalysis {
+        let quotas = ipsw_quotas(&self.threads, self.params, f);
+        self.analyze_with_quotas(f, &quotas)
+    }
+
+    /// Whether Eq 2/6's validity assumption holds at target `f`: a miss
+    /// that switches thread `j` out must be resolved by the time `j` runs
+    /// again, i.e. for every thread the rest of the round must cover the
+    /// memory latency. Outside this domain the model over-estimates the
+    /// miss-heavy threads' SOE IPC (the paper states Eq 2 "holds as long
+    /// as misses that cause thread switches are resolved by the time
+    /// their threads are running again").
+    pub fn miss_resolution_holds(&self, f: FairnessLevel) -> bool {
+        let quotas = ipsw_quotas(&self.threads, self.params, f);
+        let cpsw: Vec<f64> = self
+            .threads
+            .iter()
+            .zip(&quotas)
+            .map(|(t, q)| q / t.ipc_no_miss())
+            .collect();
+        let round: f64 = cpsw.iter().map(|c| c + self.params.switch_lat).sum();
+        cpsw.iter()
+            .all(|c| round - (c + self.params.switch_lat) >= self.params.miss_lat)
+    }
+
+    /// Analysis under explicitly supplied instructions-per-switch quotas
+    /// (used for what-if studies and for validating the runtime engine's
+    /// quota decisions against the model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quotas` has a different length than the thread list or
+    /// contains a non-positive quota.
+    pub fn analyze_with_quotas(&self, target: FairnessLevel, quotas: &[f64]) -> SoeAnalysis {
+        assert_eq!(
+            quotas.len(),
+            self.threads.len(),
+            "one quota per thread required"
+        );
+        assert!(quotas.iter().all(|q| *q > 0.0), "quotas must be positive");
+        // CPSw_j: execution cycles per round. Instructions run at
+        // IPC_no_miss; miss stalls are hidden by the other threads, so a
+        // quota of IPSw_j instructions takes IPSw_j / IPC_no_miss_j cycles
+        // of core occupancy. A quota capped at IPM_j reduces to CPM_j.
+        let cpsw: Vec<f64> = self
+            .threads
+            .iter()
+            .zip(quotas)
+            .map(|(t, q)| q / t.ipc_no_miss())
+            .collect();
+        // Eq 6 denominator: one full SOE round.
+        let round: f64 = cpsw.iter().map(|c| c + self.params.switch_lat).sum();
+        let per_thread: Vec<ThreadAnalysis> = self
+            .threads
+            .iter()
+            .zip(quotas.iter().zip(&cpsw))
+            .map(|(t, (q, c))| {
+                let ipc_st = t.ipc_st(self.params);
+                let ipc_soe = q / round;
+                ThreadAnalysis {
+                    ipc_st,
+                    ipsw: *q,
+                    cpsw: *c,
+                    ipc_soe,
+                    speedup: ipc_soe / ipc_st,
+                }
+            })
+            .collect();
+        let throughput: f64 = per_thread.iter().map(|t| t.ipc_soe).sum();
+        let speedups: Vec<f64> = per_thread.iter().map(|t| t.speedup).collect();
+        SoeAnalysis {
+            target,
+            per_thread,
+            throughput,
+            fairness: fairness_of(&speedups),
+            soe_speedup: throughput / self.single_thread_throughput(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table2_model() -> SoeModel {
+        SoeModel::new(
+            vec![
+                ThreadModel::new(2.5, 15_000.0),
+                ThreadModel::new(2.5, 1_000.0),
+            ],
+            SystemParams::default(),
+        )
+    }
+
+    #[test]
+    fn unforced_soe_matches_eq2() {
+        let a = table2_model().analyze(FairnessLevel::NONE);
+        // Round = (6000 + 25) + (400 + 25) = 6450 cycles.
+        assert!((a.per_thread[0].ipc_soe - 15_000.0 / 6_450.0).abs() < 1e-9);
+        assert!((a.per_thread[1].ipc_soe - 1_000.0 / 6_450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_slowdowns_without_fairness() {
+        let a = table2_model().analyze(FairnessLevel::NONE);
+        // Paper: thread 1's IPC drops by a factor of 1.02, thread 2's by 9.2.
+        let drop1 = 1.0 / a.per_thread[0].speedup;
+        let drop2 = 1.0 / a.per_thread[1].speedup;
+        assert!((drop1 - 1.02).abs() < 0.01, "drop1 = {drop1}");
+        assert!((drop2 - 9.2).abs() < 0.1, "drop2 = {drop2}");
+        assert!(
+            (a.fairness - 0.11).abs() < 0.005,
+            "fairness = {}",
+            a.fairness
+        );
+    }
+
+    #[test]
+    fn table2_perfect_fairness_equalizes_slowdown() {
+        let a = table2_model().analyze(FairnessLevel::PERFECT);
+        // Paper: both threads slow down by 1.59 (speedup 0.63) at F = 1.
+        for t in &a.per_thread {
+            assert!(
+                (1.0 / t.speedup - 1.59).abs() < 0.01,
+                "slowdown {}",
+                1.0 / t.speedup
+            );
+        }
+        assert!(a.fairness > 0.999);
+    }
+
+    #[test]
+    fn half_fairness_allows_factor_two() {
+        let a = table2_model().analyze(FairnessLevel::HALF);
+        assert!((a.fairness - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_sum_of_per_thread_ipc() {
+        let a = table2_model().analyze(FairnessLevel::QUARTER);
+        let sum: f64 = a.per_thread.iter().map(|t| t.ipc_soe).sum();
+        assert!((a.throughput - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enforcement_costs_throughput_for_equal_ipc_threads() {
+        let m = table2_model();
+        let t0 = m.analyze(FairnessLevel::NONE).throughput;
+        let t1 = m.analyze(FairnessLevel::PERFECT).throughput;
+        assert!(t1 < t0);
+        // Paper's Fig 3: same-IPC_no_miss pairs degrade by at most ~4%.
+        assert!(t0 / t1 < 1.05, "degradation {}", 1.0 - t1 / t0);
+    }
+
+    #[test]
+    fn enforcement_can_improve_throughput_for_mixed_ipc_threads() {
+        // Fig 3's IPC_no_miss = [2, 3] case: the missy thread computes
+        // faster, so biasing execution toward it helps throughput.
+        let m = SoeModel::new(
+            vec![
+                ThreadModel::new(2.0, 15_000.0),
+                ThreadModel::new(3.0, 1_000.0),
+            ],
+            SystemParams::default(),
+        );
+        let t0 = m.analyze(FairnessLevel::NONE).throughput;
+        let t1 = m.analyze(FairnessLevel::PERFECT).throughput;
+        assert!(t1 > t0 * 1.05, "expected >5% gain, got {}", t1 / t0 - 1.0);
+    }
+
+    #[test]
+    fn soe_speedup_over_single_thread_is_positive_for_table2() {
+        let a = table2_model().analyze(FairnessLevel::NONE);
+        assert!(a.soe_speedup > 1.0);
+    }
+
+    #[test]
+    fn single_thread_throughput_is_harmonic_mean() {
+        let m = table2_model();
+        let ipcs = m.ipc_st();
+        let expected = 2.0 / (1.0 / ipcs[0] + 1.0 / ipcs[1]);
+        assert!((m.single_thread_throughput() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_thread_fairness_enforced() {
+        let m = SoeModel::new(
+            vec![
+                ThreadModel::new(2.5, 20_000.0),
+                ThreadModel::new(1.5, 2_000.0),
+                ThreadModel::new(2.0, 600.0),
+            ],
+            SystemParams::default(),
+        );
+        for f in [0.25, 0.5, 1.0] {
+            let a = m.analyze(FairnessLevel::new(f));
+            assert!(a.fairness >= f - 1e-9, "F={f} achieved {}", a.fairness);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one quota per thread")]
+    fn mismatched_quota_length_panics() {
+        table2_model().analyze_with_quotas(FairnessLevel::NONE, &[100.0]);
+    }
+}

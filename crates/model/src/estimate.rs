@@ -1,0 +1,161 @@
+//! Eq 11–13 — estimating single-thread performance from hardware counters
+//! sampled while the thread runs under SOE.
+
+use serde::{Deserialize, Serialize};
+
+/// One Δ-window sample of the three per-thread hardware counters the
+/// mechanism requires (Section 3.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Instructions retired from the thread during the window.
+    pub instrs: u64,
+    /// Cycles the thread was actually running (from the retirement of the
+    /// first instruction after switch-in until switch-out; excludes switch
+    /// overhead).
+    pub cycles: u64,
+    /// Last-level cache misses that caused a thread switch (only the first
+    /// miss of each overlapped group is counted).
+    pub misses: u64,
+}
+
+/// The thread characteristics derived from a [`CounterSample`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreadEstimate {
+    /// Eq 11 — `IPM = Instrs / max(Misses, 1)`.
+    pub ipm: f64,
+    /// Eq 12 — `CPM = Cycles / max(Misses, 1)`.
+    pub cpm: f64,
+    /// Eq 13 — estimated single-thread IPC: `IPM / (CPM + Miss_lat)`.
+    pub ipc_st: f64,
+}
+
+/// Eq 11–13 — derives a thread's `IPM`, `CPM` and estimated `IPC_ST` from
+/// its hardware counters and the (known or measured) miss latency.
+///
+/// Following the paper, a window with zero misses uses `Misses = 1`; this
+/// under-estimates `IPC_ST` slightly but keeps the estimate usable.
+///
+/// # Examples
+///
+/// ```
+/// use soe_model::{estimate_thread, CounterSample};
+///
+/// let sample = CounterSample { instrs: 150_000, cycles: 60_000, misses: 10 };
+/// let est = estimate_thread(sample, 300.0);
+/// assert_eq!(est.ipm, 15_000.0);
+/// assert_eq!(est.cpm, 6_000.0);
+/// assert!((est.ipc_st - 15_000.0 / 6_300.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `miss_lat` is not positive.
+pub fn estimate_thread(sample: CounterSample, miss_lat: f64) -> ThreadEstimate {
+    assert!(miss_lat > 0.0, "miss latency must be positive");
+    let misses = sample.misses.max(1) as f64;
+    let ipm = sample.instrs as f64 / misses;
+    let cpm = sample.cycles as f64 / misses;
+    let ipc_st = if ipm == 0.0 {
+        0.0
+    } else {
+        ipm / (cpm + miss_lat)
+    };
+    ThreadEstimate { ipm, cpm, ipc_st }
+}
+
+impl CounterSample {
+    /// Difference between two cumulative counter readings — the per-window
+    /// sample used every Δ cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` has any counter larger than `self` (counters
+    /// are monotonic).
+    pub fn since(&self, earlier: &CounterSample) -> CounterSample {
+        assert!(
+            self.instrs >= earlier.instrs
+                && self.cycles >= earlier.cycles
+                && self.misses >= earlier.misses,
+            "hardware counters are monotonic"
+        );
+        CounterSample {
+            instrs: self.instrs - earlier.instrs,
+            cycles: self.cycles - earlier.cycles,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_misses_uses_one() {
+        let est = estimate_thread(
+            CounterSample {
+                instrs: 10_000,
+                cycles: 4_000,
+                misses: 0,
+            },
+            300.0,
+        );
+        assert_eq!(est.ipm, 10_000.0);
+        assert_eq!(est.cpm, 4_000.0);
+    }
+
+    #[test]
+    fn zero_instrs_gives_zero_ipc() {
+        let est = estimate_thread(CounterSample::default(), 300.0);
+        assert_eq!(est.ipc_st, 0.0);
+    }
+
+    #[test]
+    fn estimate_matches_analytical_ipc_st() {
+        use crate::{SystemParams, ThreadModel};
+        let t = ThreadModel::new(2.5, 1_000.0);
+        // Synthesize counters consistent with the model: 50 misses.
+        let sample = CounterSample {
+            instrs: 50_000,
+            cycles: (50.0 * t.cpm()) as u64,
+            misses: 50,
+        };
+        let est = estimate_thread(sample, 300.0);
+        let expected = t.ipc_st(SystemParams::default());
+        assert!((est.ipc_st - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_subtracts_componentwise() {
+        let now = CounterSample {
+            instrs: 100,
+            cycles: 200,
+            misses: 3,
+        };
+        let before = CounterSample {
+            instrs: 40,
+            cycles: 90,
+            misses: 1,
+        };
+        let d = now.since(&before);
+        assert_eq!(d.instrs, 60);
+        assert_eq!(d.cycles, 110);
+        assert_eq!(d.misses, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn since_rejects_regressed_counters() {
+        let a = CounterSample {
+            instrs: 1,
+            cycles: 1,
+            misses: 0,
+        };
+        let b = CounterSample {
+            instrs: 2,
+            cycles: 1,
+            misses: 0,
+        };
+        a.since(&b);
+    }
+}

@@ -1,0 +1,58 @@
+//! The paper's worked examples as ready-made scenarios (Example 2 /
+//! Table 2).
+
+use crate::{FairnessLevel, SoeAnalysis, SoeModel, SystemParams, ThreadModel};
+
+/// The Example 2 / Table 2 scenario: two threads at `IPC_no_miss = 2.5`,
+/// 300-cycle memory, 25-cycle switch, one thread missing every 15 000
+/// instructions and the other every 1 000.
+pub fn table2_scenario() -> SoeModel {
+    SoeModel::new(
+        vec![
+            ThreadModel::new(2.5, 15_000.0),
+            ThreadModel::new(2.5, 1_000.0),
+        ],
+        SystemParams::new(300.0, 25.0),
+    )
+}
+
+/// Evaluates the Table 2 scenario at the three fairness levels the table
+/// reports (`F = 0, 1/2, 1`), in that order.
+pub fn table2_rows() -> Vec<SoeAnalysis> {
+    let model = table2_scenario();
+    [
+        FairnessLevel::NONE,
+        FairnessLevel::HALF,
+        FairnessLevel::PERFECT,
+    ]
+    .into_iter()
+    .map(|f| model.analyze(f))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_three_rows() {
+        let rows = table2_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].target, FairnessLevel::NONE);
+        assert_eq!(rows[2].target, FairnessLevel::PERFECT);
+    }
+
+    #[test]
+    fn table2_f0_is_unfair_and_f1_is_fair() {
+        let rows = table2_rows();
+        assert!(rows[0].fairness < 0.12);
+        assert!((rows[1].fairness - 0.5).abs() < 1e-9);
+        assert!(rows[2].fairness > 0.999);
+    }
+
+    #[test]
+    fn table2_forced_switch_every_1667_instructions() {
+        let rows = table2_rows();
+        assert!((rows[2].per_thread[0].ipsw - 1_666.67).abs() < 1.0);
+    }
+}

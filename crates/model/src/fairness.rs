@@ -1,0 +1,216 @@
+//! The fairness metric (Eq 4) and the alternative metrics from related
+//! work that Section 6 of the paper discusses.
+
+use serde::{Deserialize, Serialize};
+
+/// A target fairness level `F ∈ [0, 1]` (Eq 8).
+///
+/// * `F = 0` ([`FairnessLevel::NONE`]) disables enforcement: threads switch
+///   only on last-level cache misses,
+/// * `F = 1` ([`FairnessLevel::PERFECT`]) demands equal per-thread
+///   speedups,
+/// * intermediate values bound the allowed ratio between the largest and
+///   smallest speedup — e.g. `F = 1/2` allows at most a 2× spread.
+///
+/// # Examples
+///
+/// ```
+/// use soe_model::FairnessLevel;
+///
+/// let half = FairnessLevel::new(0.5);
+/// assert_eq!(half.get(), 0.5);
+/// assert!(half.is_enforced());
+/// assert!(!FairnessLevel::NONE.is_enforced());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct FairnessLevel(f64);
+
+impl FairnessLevel {
+    /// No enforcement (`F = 0`): switch only on events.
+    pub const NONE: FairnessLevel = FairnessLevel(0.0);
+    /// A quarter (`F = 1/4`): speedups may differ by at most 4×.
+    pub const QUARTER: FairnessLevel = FairnessLevel(0.25);
+    /// A half (`F = 1/2`): speedups may differ by at most 2× — the
+    /// compromise the paper recommends.
+    pub const HALF: FairnessLevel = FairnessLevel(0.5);
+    /// Perfect fairness (`F = 1`): equal speedups.
+    pub const PERFECT: FairnessLevel = FairnessLevel(1.0);
+
+    /// Creates a fairness level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is outside `[0, 1]` or NaN.
+    pub fn new(f: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&f),
+            "fairness level must be in [0, 1], got {f}"
+        );
+        Self(f)
+    }
+
+    /// The raw level in `[0, 1]`.
+    pub fn get(&self) -> f64 {
+        self.0
+    }
+
+    /// Whether the level actually enforces anything (`F > 0`).
+    pub fn is_enforced(&self) -> bool {
+        self.0 > 0.0
+    }
+
+    /// The four levels evaluated throughout the paper:
+    /// `F = 0, 1/4, 1/2, 1`.
+    pub fn paper_levels() -> [FairnessLevel; 4] {
+        [Self::NONE, Self::QUARTER, Self::HALF, Self::PERFECT]
+    }
+
+    /// Display label matching the paper's notation (`F=0`, `F=1/4`, ...).
+    pub fn label(&self) -> String {
+        match *self {
+            Self::NONE => "F=0".to_string(),
+            Self::QUARTER => "F=1/4".to_string(),
+            Self::HALF => "F=1/2".to_string(),
+            Self::PERFECT => "F=1".to_string(),
+            _ => format!("F={:.3}", self.0),
+        }
+    }
+}
+
+impl std::fmt::Display for FairnessLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Eq 4 — the fairness of a set of per-thread speedups: the minimum ratio
+/// between the speedups of any two threads, which equals
+/// `min(speedups) / max(speedups)`.
+///
+/// Returns `1.0` for fewer than two threads (a single thread is trivially
+/// fair) and `0.0` if any thread is completely starved (zero speedup).
+///
+/// # Examples
+///
+/// ```
+/// use soe_model::fairness_of;
+///
+/// assert_eq!(fairness_of(&[0.5, 0.5]), 1.0);
+/// assert_eq!(fairness_of(&[0.2, 0.8]), 0.25);
+/// assert_eq!(fairness_of(&[0.0, 0.9]), 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any speedup is negative or NaN.
+pub fn fairness_of(speedups: &[f64]) -> f64 {
+    assert!(
+        speedups.iter().all(|s| s.is_finite() && *s >= 0.0),
+        "speedups must be finite and non-negative"
+    );
+    if speedups.len() < 2 {
+        return 1.0;
+    }
+    let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = speedups.iter().copied().fold(0.0f64, f64::max);
+    if max == 0.0 {
+        // All threads starved; by convention completely unfair.
+        return 0.0;
+    }
+    min / max
+}
+
+/// Snavely et al.'s *weighted speedup*: the sum of per-thread speedups
+/// (`WS = Σ IPC_SOE_j / IPC_ST_j`). A throughput-oriented metric the paper
+/// compares against in Section 6.
+pub fn weighted_speedup(speedups: &[f64]) -> f64 {
+    speedups.iter().sum()
+}
+
+/// Luo et al.'s *harmonic mean of speedups* — the combined
+/// fairness/throughput metric the paper argues is biased toward fairness.
+///
+/// Returns `0.0` when the slice is empty or any speedup is zero (a starved
+/// thread drives the harmonic mean to zero).
+pub fn harmonic_mean_fairness(speedups: &[f64]) -> f64 {
+    if speedups.is_empty() || speedups.contains(&0.0) {
+        return 0.0;
+    }
+    let recip: f64 = speedups.iter().map(|s| 1.0 / s).sum();
+    speedups.len() as f64 / recip
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fairness_is_min_over_max() {
+        assert!((fairness_of(&[0.1, 0.2, 0.4]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_speedups_are_perfectly_fair() {
+        assert_eq!(fairness_of(&[0.7, 0.7, 0.7]), 1.0);
+    }
+
+    #[test]
+    fn single_thread_is_fair() {
+        assert_eq!(fairness_of(&[0.3]), 1.0);
+        assert_eq!(fairness_of(&[]), 1.0);
+    }
+
+    #[test]
+    fn starved_thread_is_completely_unfair() {
+        assert_eq!(fairness_of(&[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn all_starved_is_unfair_not_nan() {
+        assert_eq!(fairness_of(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn fairness_is_stricter_than_harmonic_mean() {
+        // Enforcing min-ratio fairness bounds the harmonic mean too, but a
+        // good harmonic mean does not imply good min-ratio fairness: one
+        // very unfair pair can hide behind many fair ones.
+        let spread = [0.05, 0.9, 0.9, 0.9];
+        let h = harmonic_mean_fairness(&spread);
+        let f = fairness_of(&spread);
+        assert!(f < 0.06);
+        assert!(h > 0.15, "harmonic mean averages the starvation away: {h}");
+    }
+
+    #[test]
+    fn weighted_speedup_is_sum() {
+        assert_eq!(weighted_speedup(&[0.5, 0.7]), 1.2);
+    }
+
+    #[test]
+    fn harmonic_mean_zero_cases() {
+        assert_eq!(harmonic_mean_fairness(&[]), 0.0);
+        assert_eq!(harmonic_mean_fairness(&[0.0, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn fairness_level_labels() {
+        assert_eq!(FairnessLevel::NONE.label(), "F=0");
+        assert_eq!(FairnessLevel::QUARTER.label(), "F=1/4");
+        assert_eq!(FairnessLevel::HALF.label(), "F=1/2");
+        assert_eq!(FairnessLevel::PERFECT.label(), "F=1");
+        assert_eq!(FairnessLevel::new(0.3).label(), "F=0.300");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn out_of_range_level_panics() {
+        FairnessLevel::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_speedup_panics() {
+        fairness_of(&[-0.1, 0.5]);
+    }
+}

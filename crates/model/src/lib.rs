@@ -1,0 +1,69 @@
+//! Analytical model of Switch-on-Event (SOE) multithreading fairness and
+//! throughput — Section 2 of *"Fairness and Throughput in Switch on Event
+//! Multithreading"* (Gabor, Weiss, Mendelson; MICRO 2006).
+//!
+//! The paper models a thread as a sequence of instruction runs delimited by
+//! long-latency last-level cache misses, characterized by two averages:
+//!
+//! * `IPM` — instructions per miss,
+//! * `CPM` — cycles per miss (execution cycles, excluding the miss stall),
+//!
+//! together with two machine parameters: the memory access latency
+//! `Miss_lat` and the thread switch overhead `Switch_lat`.
+//!
+//! From these the model derives (equation numbers follow the paper):
+//!
+//! * Eq 1 — single-thread IPC: `IPC_ST = IPM / (CPM + Miss_lat)`,
+//! * Eq 2/6 — per-thread SOE IPC, with or without forced switch quotas,
+//! * Eq 4 — the **fairness metric**: the minimum ratio between the
+//!   speedups of any two threads,
+//! * Eq 9 — the per-thread instructions-per-switch quota `IPSw_j` that
+//!   guarantees a target fairness `F`,
+//! * Eq 10 — SOE throughput,
+//! * Eq 11–13 — the runtime estimation of `IPC_ST` from hardware counters.
+//!
+//! The [`SoeModel`] type bundles a set of [`ThreadModel`]s with
+//! [`SystemParams`] and evaluates all of the above; [`sweep`] regenerates
+//! the Figure 3 tradeoff curves and [`timeshare`] the Section 6
+//! time-sharing baseline.
+//!
+//! # Examples
+//!
+//! The worked example of the paper's Table 2 — two threads at 2.5
+//! IPC-excluding-misses, one missing every 15 000 instructions and the
+//! other every 1 000:
+//!
+//! ```
+//! use soe_model::{FairnessLevel, SoeModel, SystemParams, ThreadModel};
+//!
+//! let model = SoeModel::new(
+//!     vec![ThreadModel::new(2.5, 15_000.0), ThreadModel::new(2.5, 1_000.0)],
+//!     SystemParams::new(300.0, 25.0),
+//! );
+//! let unfair = model.analyze(FairnessLevel::NONE);
+//! assert!(unfair.fairness < 0.12); // thread 2 is almost starved
+//!
+//! let fair = model.analyze(FairnessLevel::PERFECT);
+//! assert!(fair.fairness > 0.999); // equal slowdowns
+//! // ... at the cost of forcing thread 1 to switch every ~1667 instructions
+//! assert!((fair.per_thread[0].ipsw - 1667.0).abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod estimate;
+pub mod example;
+mod fairness;
+mod params;
+mod quota;
+pub mod sweep;
+pub mod timeshare;
+pub mod weighted;
+
+pub use analysis::{SoeAnalysis, SoeModel, ThreadAnalysis};
+pub use estimate::{estimate_thread, CounterSample, ThreadEstimate};
+pub use fairness::{fairness_of, harmonic_mean_fairness, weighted_speedup, FairnessLevel};
+pub use params::{SystemParams, ThreadModel};
+pub use quota::ipsw_quotas;

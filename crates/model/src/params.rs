@@ -1,0 +1,169 @@
+//! Workload and machine parameters of the analytical model.
+
+use serde::{Deserialize, Serialize};
+
+/// Machine parameters of the analytical model: the average memory access
+/// latency seen by a last-level cache miss and the thread switch overhead.
+///
+/// The paper's evaluation uses `Miss_lat = 300` cycles (75 ns at 4 GHz) and
+/// `Switch_lat ≈ 25` cycles (a 6-cycle pipeline drain plus refill), which is
+/// what [`SystemParams::default`] returns.
+///
+/// # Examples
+///
+/// ```
+/// use soe_model::SystemParams;
+///
+/// let p = SystemParams::default();
+/// assert_eq!(p.miss_lat, 300.0);
+/// assert_eq!(p.switch_lat, 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemParams {
+    /// Average memory access latency of a last-level cache miss, in cycles.
+    pub miss_lat: f64,
+    /// Average overhead of one thread switch, in cycles.
+    pub switch_lat: f64,
+}
+
+impl SystemParams {
+    /// Creates machine parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `miss_lat` is not positive or `switch_lat` is negative.
+    pub fn new(miss_lat: f64, switch_lat: f64) -> Self {
+        assert!(miss_lat > 0.0, "miss latency must be positive");
+        assert!(switch_lat >= 0.0, "switch latency must be non-negative");
+        Self {
+            miss_lat,
+            switch_lat,
+        }
+    }
+}
+
+impl Default for SystemParams {
+    /// The paper's evaluation parameters: 300-cycle memory, 25-cycle switch.
+    fn default() -> Self {
+        Self::new(300.0, 25.0)
+    }
+}
+
+/// Analytical description of one thread: its IPC excluding miss stalls and
+/// its average number of instructions between last-level cache misses.
+///
+/// `CPM` (cycles per miss) is derived: `CPM = IPM / IPC_no_miss`.
+///
+/// # Examples
+///
+/// ```
+/// use soe_model::{SystemParams, ThreadModel};
+///
+/// let t = ThreadModel::new(2.5, 15_000.0);
+/// assert_eq!(t.cpm(), 6_000.0);
+/// // Eq 1: IPC_ST = IPM / (CPM + Miss_lat)
+/// let ipc_st = t.ipc_st(SystemParams::default());
+/// assert!((ipc_st - 15_000.0 / 6_300.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreadModel {
+    ipc_no_miss: f64,
+    ipm: f64,
+}
+
+impl ThreadModel {
+    /// Creates a thread model from its no-miss IPC and instructions per
+    /// miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not positive.
+    pub fn new(ipc_no_miss: f64, ipm: f64) -> Self {
+        assert!(ipc_no_miss > 0.0, "IPC excluding misses must be positive");
+        assert!(ipm > 0.0, "instructions per miss must be positive");
+        Self { ipc_no_miss, ipm }
+    }
+
+    /// Creates a thread model from measured `IPM` and `CPM` averages
+    /// (the form produced by the runtime hardware counters, Eq 11–12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not positive.
+    pub fn from_ipm_cpm(ipm: f64, cpm: f64) -> Self {
+        assert!(ipm > 0.0 && cpm > 0.0, "IPM and CPM must be positive");
+        Self {
+            ipc_no_miss: ipm / cpm,
+            ipm,
+        }
+    }
+
+    /// Average IPC while the thread is actually executing (miss stalls
+    /// excluded).
+    pub fn ipc_no_miss(&self) -> f64 {
+        self.ipc_no_miss
+    }
+
+    /// Average instructions retired between two consecutive last-level
+    /// cache misses (`IPM`).
+    pub fn ipm(&self) -> f64 {
+        self.ipm
+    }
+
+    /// Average execution cycles between two consecutive misses (`CPM`),
+    /// excluding the miss stall itself.
+    pub fn cpm(&self) -> f64 {
+        self.ipm / self.ipc_no_miss
+    }
+
+    /// Eq 1 — single-thread IPC: `IPM / (CPM + Miss_lat)`.
+    pub fn ipc_st(&self, params: SystemParams) -> f64 {
+        self.ipm / (self.cpm() + params.miss_lat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpm_is_ipm_over_ipc() {
+        let t = ThreadModel::new(2.0, 1_000.0);
+        assert_eq!(t.cpm(), 500.0);
+    }
+
+    #[test]
+    fn ipc_st_matches_table2_threads() {
+        let params = SystemParams::default();
+        let t1 = ThreadModel::new(2.5, 15_000.0);
+        let t2 = ThreadModel::new(2.5, 1_000.0);
+        assert!((t1.ipc_st(params) - 2.381).abs() < 1e-3);
+        assert!((t2.ipc_st(params) - 1.429).abs() < 1e-3);
+    }
+
+    #[test]
+    fn from_ipm_cpm_round_trips() {
+        let t = ThreadModel::new(2.5, 15_000.0);
+        let u = ThreadModel::from_ipm_cpm(t.ipm(), t.cpm());
+        assert!((u.ipc_no_miss() - 2.5).abs() < 1e-12);
+        assert_eq!(u.ipm(), 15_000.0);
+    }
+
+    #[test]
+    fn ipc_st_is_below_ipc_no_miss() {
+        let t = ThreadModel::new(3.0, 500.0);
+        assert!(t.ipc_st(SystemParams::default()) < t.ipc_no_miss());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_ipm_panics() {
+        ThreadModel::new(2.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "miss latency")]
+    fn zero_miss_lat_panics() {
+        SystemParams::new(0.0, 25.0);
+    }
+}

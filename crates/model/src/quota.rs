@@ -1,0 +1,157 @@
+//! Eq 9 — the instructions-per-switch quota that enforces a target
+//! fairness.
+
+use crate::{FairnessLevel, SystemParams, ThreadModel};
+
+/// Eq 9 — computes the per-thread instructions-per-switch quota `IPSw_j`
+/// that guarantees fairness at least `f`:
+///
+/// ```text
+/// IPSw_j = min( IPM_j,  IPC_ST_j · (CPM_min + Miss_lat) / F )
+/// ```
+///
+/// where `CPM_min = min_j CPM_j`. A quota can never exceed `IPM_j` because
+/// the thread switches on its misses anyway; conversely a thread whose
+/// quota equals its `IPM` needs no forced switches.
+///
+/// For `F = 0` (no enforcement) every quota is `IPM_j`.
+///
+/// Intuition: a thread's SOE speedup is proportional to
+/// `IPSw_j / IPC_ST_j` (the round length is shared by all threads), so
+/// making `IPSw_j ∝ IPC_ST_j` equalizes speedups; dividing by `F` relaxes
+/// the bound, allowing up to a `1/F` spread.
+///
+/// # Examples
+///
+/// Table 2: enforcing `F = 1` forces the low-miss thread to switch every
+/// ~1 667 instructions while the high-miss thread keeps its natural quota:
+///
+/// ```
+/// use soe_model::{ipsw_quotas, FairnessLevel, SystemParams, ThreadModel};
+///
+/// let threads = [ThreadModel::new(2.5, 15_000.0), ThreadModel::new(2.5, 1_000.0)];
+/// let q = ipsw_quotas(&threads, SystemParams::default(), FairnessLevel::PERFECT);
+/// assert!((q[0] - 1_666.7).abs() < 0.1);
+/// assert_eq!(q[1], 1_000.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `threads` is empty.
+pub fn ipsw_quotas(threads: &[ThreadModel], params: SystemParams, f: FairnessLevel) -> Vec<f64> {
+    assert!(!threads.is_empty(), "need at least one thread");
+    if !f.is_enforced() {
+        return threads.iter().map(|t| t.ipm()).collect();
+    }
+    let cpm_min = threads
+        .iter()
+        .map(|t| t.cpm())
+        .fold(f64::INFINITY, f64::min);
+    threads
+        .iter()
+        .map(|t| {
+            let quota = t.ipc_st(params) * (cpm_min + params.miss_lat) / f.get();
+            quota.min(t.ipm())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fairness_of;
+
+    fn table2_threads() -> [ThreadModel; 2] {
+        [
+            ThreadModel::new(2.5, 15_000.0),
+            ThreadModel::new(2.5, 1_000.0),
+        ]
+    }
+
+    #[test]
+    fn no_enforcement_keeps_natural_quotas() {
+        let q = ipsw_quotas(
+            &table2_threads(),
+            SystemParams::default(),
+            FairnessLevel::NONE,
+        );
+        assert_eq!(q, vec![15_000.0, 1_000.0]);
+    }
+
+    #[test]
+    fn perfect_fairness_matches_paper_example() {
+        let q = ipsw_quotas(
+            &table2_threads(),
+            SystemParams::default(),
+            FairnessLevel::PERFECT,
+        );
+        // Paper: "forced to switch every 1,667 instructions (on average)".
+        assert!((q[0] - 1_666.67).abs() < 1.0, "got {}", q[0]);
+        assert_eq!(q[1], 1_000.0);
+    }
+
+    #[test]
+    fn lower_f_gives_larger_quotas() {
+        let params = SystemParams::default();
+        let threads = table2_threads();
+        let q1 = ipsw_quotas(&threads, params, FairnessLevel::PERFECT);
+        let q_half = ipsw_quotas(&threads, params, FairnessLevel::HALF);
+        let q_quarter = ipsw_quotas(&threads, params, FairnessLevel::QUARTER);
+        assert!(q_half[0] > q1[0]);
+        assert!(q_quarter[0] > q_half[0]);
+    }
+
+    #[test]
+    fn quota_never_exceeds_ipm() {
+        let params = SystemParams::default();
+        for f in [0.1, 0.25, 0.5, 0.9, 1.0] {
+            let q = ipsw_quotas(&table2_threads(), params, FairnessLevel::new(f));
+            for (quota, t) in q.iter().zip(table2_threads()) {
+                assert!(*quota <= t.ipm() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn min_cpm_thread_is_uncapped_at_perfect_fairness() {
+        // The thread with CPM_min gets exactly its IPM as quota at F = 1.
+        let threads = [ThreadModel::new(2.0, 8_000.0), ThreadModel::new(2.0, 500.0)];
+        let q = ipsw_quotas(&threads, SystemParams::default(), FairnessLevel::PERFECT);
+        assert!((q[1] - 500.0).abs() < 1e-9);
+    }
+
+    /// Speedups implied by quotas: proportional to `IPSw_j / IPC_ST_j`
+    /// (the common round denominator cancels in the fairness ratio).
+    fn implied_fairness(threads: &[ThreadModel], params: SystemParams, q: &[f64]) -> f64 {
+        let speedup_proxy: Vec<f64> = threads
+            .iter()
+            .zip(q)
+            .map(|(t, quota)| quota / t.ipc_st(params))
+            .collect();
+        fairness_of(&speedup_proxy)
+    }
+
+    #[test]
+    fn quotas_achieve_requested_fairness_in_model() {
+        let params = SystemParams::default();
+        let threads = [
+            ThreadModel::new(2.5, 15_000.0),
+            ThreadModel::new(1.8, 3_000.0),
+            ThreadModel::new(2.2, 800.0),
+        ];
+        for f in [0.25, 0.5, 0.75, 1.0] {
+            let q = ipsw_quotas(&threads, params, FairnessLevel::new(f));
+            let achieved = implied_fairness(&threads, params, &q);
+            assert!(
+                achieved >= f - 1e-9,
+                "F={f}: achieved {achieved} below target"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn empty_thread_list_panics() {
+        ipsw_quotas(&[], SystemParams::default(), FairnessLevel::HALF);
+    }
+}

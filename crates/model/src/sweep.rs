@@ -1,0 +1,181 @@
+//! Fairness/throughput tradeoff sweeps — the analytical curves of Figure 3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FairnessLevel, SoeModel, SystemParams, ThreadModel};
+
+/// One point of an F-sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Enforced fairness level.
+    pub f: f64,
+    /// Absolute SOE throughput (Eq 10) at this level.
+    pub throughput: f64,
+    /// Throughput relative to no enforcement (`F = 0`); < 1 is
+    /// degradation, > 1 is the improvement region Figure 3 shows for
+    /// mixed-IPC pairs.
+    pub relative: f64,
+    /// Fairness actually achieved by the Eq 9 quotas at this level.
+    pub fairness: f64,
+}
+
+/// Sweeps the enforced fairness `F` from 0 to 1 in `steps` uniform
+/// increments (inclusive of both endpoints) and reports throughput and
+/// achieved fairness at each level.
+///
+/// # Examples
+///
+/// ```
+/// use soe_model::{SoeModel, SystemParams, ThreadModel};
+/// use soe_model::sweep::f_sweep;
+///
+/// let m = SoeModel::new(
+///     vec![ThreadModel::new(2.5, 15_000.0), ThreadModel::new(2.5, 1_000.0)],
+///     SystemParams::default(),
+/// );
+/// let points = f_sweep(&m, 10);
+/// assert_eq!(points.len(), 11);
+/// assert_eq!(points[0].relative, 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `steps == 0`.
+pub fn f_sweep(model: &SoeModel, steps: usize) -> Vec<SweepPoint> {
+    assert!(steps > 0, "sweep needs at least one step");
+    let base = model.analyze(FairnessLevel::NONE).throughput;
+    (0..=steps)
+        .map(|i| {
+            let f = i as f64 / steps as f64;
+            let a = model.analyze(FairnessLevel::new(f));
+            SweepPoint {
+                f,
+                throughput: a.throughput,
+                relative: a.throughput / base,
+                fairness: a.fairness,
+            }
+        })
+        .collect()
+}
+
+/// A named Figure 3 configuration: legend label plus the two-thread model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Legend label in the paper's notation,
+    /// e.g. `IPCnomiss=[2.5,2.5] IPM=[15000,1000]`.
+    pub label: String,
+    /// The two-thread model behind the curve.
+    pub model: SoeModel,
+}
+
+/// The thread-pair combinations plotted in Figure 3: equal-IPC pairs
+/// (`IPC_no_miss = [2.5, 2.5]`) across IPM spreads, and the mixed-IPC
+/// pairs (`[2, 3]` and `[3, 2]`) that produce the improvement and the
+/// worst-case degradation regions.
+pub fn figure3_configs() -> Vec<SweepConfig> {
+    let params = SystemParams::default();
+    let combos: [(f64, f64, f64, f64); 6] = [
+        (2.5, 2.5, 15_000.0, 1_000.0),
+        (2.5, 2.5, 10_000.0, 2_000.0),
+        (2.5, 2.5, 5_000.0, 5_000.0),
+        (2.0, 3.0, 15_000.0, 1_000.0),
+        (2.0, 3.0, 5_000.0, 1_000.0),
+        (3.0, 2.0, 15_000.0, 1_000.0),
+    ];
+    combos
+        .iter()
+        .map(|(ipc1, ipc2, ipm1, ipm2)| SweepConfig {
+            label: format!("IPCnomiss=[{ipc1},{ipc2}] IPM=[{ipm1},{ipm2}]"),
+            model: SoeModel::new(
+                vec![
+                    ThreadModel::new(*ipc1, *ipm1),
+                    ThreadModel::new(*ipc2, *ipm2),
+                ],
+                params,
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_spans_zero_to_one() {
+        let m = figure3_configs().remove(0).model;
+        let pts = f_sweep(&m, 4);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0].f, 0.0);
+        assert_eq!(pts[4].f, 1.0);
+    }
+
+    #[test]
+    fn achieved_fairness_meets_target_everywhere() {
+        for cfg in figure3_configs() {
+            for p in f_sweep(&cfg.model, 20) {
+                assert!(
+                    p.fairness >= p.f - 1e-9,
+                    "{}: F={} achieved {}",
+                    cfg.label,
+                    p.f,
+                    p.fairness
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_ipc_pairs_degrade_at_most_five_percent() {
+        // Paper: "when IPC_no_miss is similar for both threads, throughput
+        // degrades by up to 4%".
+        for cfg in figure3_configs()
+            .into_iter()
+            .filter(|c| c.label.starts_with("IPCnomiss=[2.5,2.5]"))
+        {
+            for p in f_sweep(&cfg.model, 10) {
+                assert!(
+                    p.relative > 0.95,
+                    "{} degraded to {} at F={}",
+                    cfg.label,
+                    p.relative,
+                    p.f
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_ipc_pair_shows_improvement_region() {
+        // Paper: "[2, 3] cases ... can actually improve by up to 10%".
+        let cfg = figure3_configs()
+            .into_iter()
+            .find(|c| c.label == "IPCnomiss=[2,3] IPM=[15000,1000]")
+            .expect("config present");
+        let pts = f_sweep(&cfg.model, 10);
+        let best = pts.iter().map(|p| p.relative).fold(0.0f64, f64::max);
+        assert!(best > 1.05, "best relative throughput {best}");
+    }
+
+    #[test]
+    fn reversed_mixed_pair_shows_large_degradation() {
+        // Paper: "throughput can degrade by up to 15%".
+        let cfg = figure3_configs()
+            .into_iter()
+            .find(|c| c.label == "IPCnomiss=[3,2] IPM=[15000,1000]")
+            .expect("config present");
+        let worst = f_sweep(&cfg.model, 10)
+            .iter()
+            .map(|p| p.relative)
+            .fold(f64::INFINITY, f64::min);
+        assert!(worst < 0.90, "worst relative throughput {worst}");
+        assert!(worst > 0.80, "degradation should stay under ~20%: {worst}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_panics() {
+        let m = figure3_configs().remove(0).model;
+        f_sweep(&m, 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Section 6's simple time-sharing baseline: switch threads every fixed
+//! number of cycles instead of tracking speedups.
+//!
+//! The paper argues this is ineffective: a small quota costs many pipeline
+//! flushes; a large quota equalizes *time*, not *slowdown*, so threads with
+//! different miss behaviour still see unequal speedups.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{fairness_of, SoeModel};
+
+/// Analysis of one thread under cycle-quota time sharing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeShareThread {
+    /// Execution cycles the thread occupies per round (quota, or `CPM` if
+    /// a miss switches it out earlier).
+    pub cycles_per_round: f64,
+    /// Instructions the thread retires per round.
+    pub instrs_per_round: f64,
+    /// IPC under time sharing.
+    pub ipc: f64,
+    /// Speedup relative to running alone (Eq 1).
+    pub speedup: f64,
+}
+
+/// Whole-system time-sharing analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeShareAnalysis {
+    /// The cycle quota per scheduling round.
+    pub quota_cycles: f64,
+    /// Per-thread breakdown, in input order.
+    pub per_thread: Vec<TimeShareThread>,
+    /// Total throughput (sum of per-thread IPCs).
+    pub throughput: f64,
+    /// Eq 4 fairness of the resulting speedups.
+    pub fairness: f64,
+}
+
+/// Analyzes simple time sharing with a fixed cycle quota `quota_cycles`:
+/// each round a thread runs until it has executed `quota_cycles` cycles or
+/// hits a last-level cache miss, whichever comes first (SOE still switches
+/// on misses — time sharing only *adds* switch points).
+///
+/// # Examples
+///
+/// The Section 6 example: a 400-cycle quota on the Table 2 threads yields
+/// speedups ≈ 0.5 and 0.8 — fairness only 0.6, although time is divided
+/// equally:
+///
+/// ```
+/// use soe_model::{SoeModel, SystemParams, ThreadModel};
+/// use soe_model::timeshare::time_share;
+///
+/// let m = SoeModel::new(
+///     vec![ThreadModel::new(2.5, 15_000.0), ThreadModel::new(2.5, 1_000.0)],
+///     SystemParams::default(),
+/// );
+/// let a = time_share(&m, 400.0);
+/// assert!((a.per_thread[0].speedup - 0.5).abs() < 0.01);
+/// assert!((a.per_thread[1].speedup - 0.8).abs() < 0.03);
+/// assert!((a.fairness - 0.6).abs() < 0.01);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `quota_cycles` is not positive.
+pub fn time_share(model: &SoeModel, quota_cycles: f64) -> TimeShareAnalysis {
+    assert!(quota_cycles > 0.0, "cycle quota must be positive");
+    let params = model.params();
+    let per_round: Vec<(f64, f64)> = model
+        .threads()
+        .iter()
+        .map(|t| {
+            // The thread hits a miss after CPM execution cycles on
+            // average; the quota caps its slice before that point.
+            let cycles = t.cpm().min(quota_cycles);
+            let instrs = cycles * t.ipc_no_miss();
+            (cycles, instrs)
+        })
+        .collect();
+    let round: f64 = per_round.iter().map(|(c, _)| c + params.switch_lat).sum();
+    let per_thread: Vec<TimeShareThread> = model
+        .threads()
+        .iter()
+        .zip(&per_round)
+        .map(|(t, (cycles, instrs))| {
+            let ipc = instrs / round;
+            TimeShareThread {
+                cycles_per_round: *cycles,
+                instrs_per_round: *instrs,
+                ipc,
+                speedup: ipc / t.ipc_st(params),
+            }
+        })
+        .collect();
+    let throughput = per_thread.iter().map(|t| t.ipc).sum();
+    let speedups: Vec<f64> = per_thread.iter().map(|t| t.speedup).collect();
+    TimeShareAnalysis {
+        quota_cycles,
+        per_thread,
+        throughput,
+        fairness: fairness_of(&speedups),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FairnessLevel, SystemParams, ThreadModel};
+
+    fn table2_model() -> SoeModel {
+        SoeModel::new(
+            vec![
+                ThreadModel::new(2.5, 15_000.0),
+                ThreadModel::new(2.5, 1_000.0),
+            ],
+            SystemParams::default(),
+        )
+    }
+
+    #[test]
+    fn section6_example_speedups() {
+        let a = time_share(&table2_model(), 400.0);
+        assert!((a.per_thread[0].speedup - 0.494).abs() < 0.005);
+        assert!((a.per_thread[1].speedup - 0.823).abs() < 0.005);
+        assert!((a.fairness - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn mechanism_beats_time_sharing_on_fairness() {
+        // Section 6's punchline: the proposed mechanism achieves fairness
+        // 1.0 on the same scenario where equal time sharing achieves 0.6.
+        let m = table2_model();
+        let ts = time_share(&m, 400.0);
+        let soe = m.analyze(FairnessLevel::PERFECT);
+        assert!(soe.fairness > 0.999);
+        assert!(ts.fairness < 0.65);
+    }
+
+    #[test]
+    fn tiny_quota_is_fairer_but_slower() {
+        let m = table2_model();
+        let small = time_share(&m, 50.0);
+        let large = time_share(&m, 5_000.0);
+        assert!(small.fairness >= large.fairness);
+        assert!(small.throughput < large.throughput);
+    }
+
+    #[test]
+    fn quota_larger_than_all_cpm_reduces_to_event_switching() {
+        let m = table2_model();
+        let a = time_share(&m, 1e9);
+        let soe = m.analyze(FairnessLevel::NONE);
+        assert!((a.throughput - soe.throughput).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle quota")]
+    fn non_positive_quota_panics() {
+        time_share(&table2_model(), 0.0);
+    }
+}

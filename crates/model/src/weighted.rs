@@ -1,0 +1,230 @@
+//! Weighted (prioritized) fairness — an extension of the paper's Eq 4/9.
+//!
+//! The paper's mechanism equalizes per-thread speedups. Real schedulers
+//! often want *proportional* service instead: thread weights `w_j` such
+//! that speedups should satisfy `speedup_j / w_j ≈ speedup_k / w_k` — a
+//! foreground thread with `w = 2` is allowed twice the speedup of a
+//! background thread with `w = 1`. Setting every weight to 1 recovers the
+//! paper's definition exactly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{fairness_of, FairnessLevel, SystemParams, ThreadModel};
+
+/// Per-thread service weights.
+///
+/// # Examples
+///
+/// ```
+/// use soe_model::weighted::Weights;
+///
+/// let w = Weights::new(vec![2.0, 1.0]);
+/// assert_eq!(w.get(0), 2.0);
+/// assert_eq!(Weights::uniform(3).get(2), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Weights(Vec<f64>);
+
+impl Weights {
+    /// Creates weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or any weight is not strictly positive and finite.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be positive and finite"
+        );
+        Self(weights)
+    }
+
+    /// Equal weights for `n` threads (the paper's plain fairness).
+    pub fn uniform(n: usize) -> Self {
+        Self::new(vec![1.0; n])
+    }
+
+    /// Weight of thread `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn get(&self, j: usize) -> f64 {
+        self.0[j]
+    }
+
+    /// Number of threads.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether there are no weights (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The raw weights.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+/// Weighted fairness: the minimum ratio between any two *weight-normalized*
+/// speedups, `min_{j,k} (speedup_j / w_j) / (speedup_k / w_k)`.
+///
+/// With uniform weights this is exactly Eq 4.
+///
+/// # Examples
+///
+/// ```
+/// use soe_model::weighted::{weighted_fairness, Weights};
+///
+/// // Thread 0 got twice the speedup — perfectly fair under 2:1 weights.
+/// let w = Weights::new(vec![2.0, 1.0]);
+/// assert!((weighted_fairness(&[0.8, 0.4], &w) - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if lengths differ or any speedup is negative.
+pub fn weighted_fairness(speedups: &[f64], weights: &Weights) -> f64 {
+    assert_eq!(speedups.len(), weights.len(), "one weight per thread");
+    let normalized: Vec<f64> = speedups
+        .iter()
+        .zip(weights.as_slice())
+        .map(|(s, w)| s / w)
+        .collect();
+    fairness_of(&normalized)
+}
+
+/// Weighted Eq 9: the per-thread instructions-per-switch quota achieving
+/// weighted fairness at least `f`:
+///
+/// ```text
+/// IPSw_j = min( IPM_j,  w_j · IPC_ST_j · C / F )
+/// ```
+///
+/// where `C` is chosen so that the least-served thread keeps its natural
+/// miss-driven switching (generalizing `CPM_min + Miss_lat`).
+///
+/// # Panics
+///
+/// Panics if `threads` is empty or lengths differ.
+pub fn weighted_ipsw_quotas(
+    threads: &[ThreadModel],
+    params: SystemParams,
+    f: FairnessLevel,
+    weights: &Weights,
+) -> Vec<f64> {
+    assert!(!threads.is_empty(), "need at least one thread");
+    assert_eq!(threads.len(), weights.len(), "one weight per thread");
+    if !f.is_enforced() {
+        return threads.iter().map(|t| t.ipm()).collect();
+    }
+    // The thread whose natural service-per-weight is smallest anchors the
+    // quota scale: its quota stays IPM (no forced switches), everyone
+    // else is scaled relative to it.
+    let anchor = threads
+        .iter()
+        .zip(weights.as_slice())
+        .map(|(t, w)| (t.cpm() + params.miss_lat) / w)
+        .fold(f64::INFINITY, f64::min);
+    threads
+        .iter()
+        .zip(weights.as_slice())
+        .map(|(t, w)| {
+            let quota = t.ipc_st(params) * w * anchor / f.get();
+            quota.min(t.ipm())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipsw_quotas;
+
+    fn threads() -> Vec<ThreadModel> {
+        vec![
+            ThreadModel::new(2.5, 15_000.0),
+            ThreadModel::new(2.5, 1_000.0),
+        ]
+    }
+
+    /// Speedup is proportional to `IPSw_j / IPC_ST_j` (the round length
+    /// cancels between threads).
+    fn speedup_proxies(quotas: &[f64], threads: &[ThreadModel], params: SystemParams) -> Vec<f64> {
+        quotas
+            .iter()
+            .zip(threads)
+            .map(|(q, t)| q / t.ipc_st(params))
+            .collect()
+    }
+
+    #[test]
+    fn uniform_weights_recover_eq9() {
+        let params = SystemParams::default();
+        let t = threads();
+        let w = Weights::uniform(2);
+        for f in [0.25, 0.5, 1.0] {
+            let a = weighted_ipsw_quotas(&t, params, FairnessLevel::new(f), &w);
+            let b = ipsw_quotas(&t, params, FairnessLevel::new(f));
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-9, "weighted {x} vs plain {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_quotas_achieve_weighted_fairness() {
+        let params = SystemParams::default();
+        let t = threads();
+        let w = Weights::new(vec![3.0, 1.0]);
+        let q = weighted_ipsw_quotas(&t, params, FairnessLevel::PERFECT, &w);
+        let s = speedup_proxies(&q, &t, params);
+        assert!(
+            (weighted_fairness(&s, &w) - 1.0).abs() < 1e-9,
+            "weighted fairness {}",
+            weighted_fairness(&s, &w)
+        );
+        // The favored thread's normalized share implies 3x the speedup.
+        assert!((s[0] / s[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_quotas_respect_ipm_cap() {
+        let params = SystemParams::default();
+        let t = threads();
+        let w = Weights::new(vec![1.0, 100.0]); // missy thread hugely favored
+        let q = weighted_ipsw_quotas(&t, params, FairnessLevel::PERFECT, &w);
+        assert!(q[1] <= t[1].ipm() + 1e-9, "cap at IPM");
+    }
+
+    #[test]
+    fn weighted_fairness_normalizes() {
+        let w = Weights::new(vec![2.0, 1.0]);
+        assert!(
+            weighted_fairness(&[0.4, 0.4], &w) < 1.0,
+            "equal speedups are NOT 2:1-fair"
+        );
+        assert!((weighted_fairness(&[0.4, 0.2], &w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_panics() {
+        Weights::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per thread")]
+    fn mismatched_weights_panic() {
+        weighted_ipsw_quotas(
+            &threads(),
+            SystemParams::default(),
+            FairnessLevel::HALF,
+            &Weights::uniform(3),
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Functional-unit pool: per-cycle issue-port and unit accounting.
+
+use crate::config::PipelineConfig;
+use crate::types::Cycle;
+use crate::uop::UopKind;
+
+/// Tracks functional-unit availability within one cycle and across the
+/// unpipelined divider's occupancy.
+///
+/// Call [`FuPool::begin_cycle`] once per cycle, then [`FuPool::try_issue`]
+/// for each candidate micro-op; a successful issue returns the completion
+/// cycle.
+///
+/// # Examples
+///
+/// ```
+/// use soe_sim::backend::FuPool;
+/// use soe_sim::{MachineConfig, UopKind};
+///
+/// let mut fu = FuPool::new(&MachineConfig::default().pipeline);
+/// fu.begin_cycle(0);
+/// assert_eq!(fu.try_issue(UopKind::Alu, 0), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    cfg: PipelineConfig,
+    alu_used: usize,
+    mul_used: usize,
+    load_used: usize,
+    store_used: usize,
+    div_busy_until: Cycle,
+}
+
+impl FuPool {
+    /// Creates the pool.
+    pub fn new(cfg: &PipelineConfig) -> Self {
+        Self {
+            cfg: *cfg,
+            alu_used: 0,
+            mul_used: 0,
+            load_used: 0,
+            store_used: 0,
+            div_busy_until: 0,
+        }
+    }
+
+    /// Resets the per-cycle port counters.
+    pub fn begin_cycle(&mut self, _now: Cycle) {
+        self.alu_used = 0;
+        self.mul_used = 0;
+        self.load_used = 0;
+        self.store_used = 0;
+    }
+
+    /// Attempts to claim a unit for `kind` at `now`. On success returns
+    /// the cycle the computation part finishes (memory time is added by
+    /// the caller for loads).
+    pub fn try_issue(&mut self, kind: UopKind, now: Cycle) -> Option<Cycle> {
+        match kind {
+            UopKind::Alu
+            | UopKind::Nop
+            | UopKind::Pause
+            | UopKind::Branch { .. }
+            | UopKind::Call { .. }
+            | UopKind::Return { .. } => {
+                if self.alu_used < self.cfg.alu_units {
+                    self.alu_used += 1;
+                    Some(now + 1)
+                } else {
+                    None
+                }
+            }
+            UopKind::Mul => {
+                if self.mul_used < self.cfg.mul_units {
+                    self.mul_used += 1;
+                    Some(now + self.cfg.mul_latency)
+                } else {
+                    None
+                }
+            }
+            UopKind::Div => {
+                if self.cfg.div_units > 0 && self.div_busy_until <= now {
+                    self.div_busy_until = now + self.cfg.div_latency;
+                    Some(now + self.cfg.div_latency)
+                } else {
+                    None
+                }
+            }
+            UopKind::Load => {
+                if self.load_used < self.cfg.load_ports {
+                    self.load_used += 1;
+                    Some(now + 1) // AGU; cache time added by caller
+                } else {
+                    None
+                }
+            }
+            UopKind::Store => {
+                if self.store_used < self.cfg.store_ports {
+                    self.store_used += 1;
+                    Some(now + 1)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn pool() -> FuPool {
+        FuPool::new(&MachineConfig::default().pipeline)
+    }
+
+    #[test]
+    fn alu_ports_limit_per_cycle() {
+        let mut fu = pool();
+        fu.begin_cycle(0);
+        let alus = MachineConfig::default().pipeline.alu_units;
+        for _ in 0..alus {
+            assert!(fu.try_issue(UopKind::Alu, 0).is_some());
+        }
+        assert_eq!(fu.try_issue(UopKind::Alu, 0), None);
+        fu.begin_cycle(1);
+        assert!(fu.try_issue(UopKind::Alu, 1).is_some(), "ports reset");
+    }
+
+    #[test]
+    fn divider_is_unpipelined() {
+        let mut fu = pool();
+        fu.begin_cycle(0);
+        let done = fu.try_issue(UopKind::Div, 0).unwrap();
+        fu.begin_cycle(1);
+        assert_eq!(fu.try_issue(UopKind::Div, 1), None, "divider busy");
+        fu.begin_cycle(done);
+        assert!(fu.try_issue(UopKind::Div, done).is_some());
+    }
+
+    #[test]
+    fn multiplier_is_pipelined() {
+        let mut fu = pool();
+        fu.begin_cycle(0);
+        assert!(fu.try_issue(UopKind::Mul, 0).is_some());
+        fu.begin_cycle(1);
+        assert!(
+            fu.try_issue(UopKind::Mul, 1).is_some(),
+            "new mul each cycle"
+        );
+    }
+
+    #[test]
+    fn latencies_match_config() {
+        let cfg = MachineConfig::default().pipeline;
+        let mut fu = pool();
+        fu.begin_cycle(10);
+        assert_eq!(fu.try_issue(UopKind::Mul, 10), Some(10 + cfg.mul_latency));
+        assert_eq!(fu.try_issue(UopKind::Div, 10), Some(10 + cfg.div_latency));
+        assert_eq!(
+            fu.try_issue(
+                UopKind::Branch {
+                    taken: false,
+                    target: 0
+                },
+                10
+            ),
+            Some(11)
+        );
+    }
+
+    #[test]
+    fn load_and_store_ports_are_separate() {
+        let cfg = MachineConfig::default().pipeline;
+        let mut fu = pool();
+        fu.begin_cycle(0);
+        for _ in 0..cfg.load_ports {
+            assert!(fu.try_issue(UopKind::Load, 0).is_some());
+        }
+        assert_eq!(fu.try_issue(UopKind::Load, 0), None);
+        assert!(fu.try_issue(UopKind::Store, 0).is_some(), "store port free");
+    }
+}

@@ -1,0 +1,7 @@
+//! The out-of-order back end: ROB, functional units.
+
+mod exec;
+mod rob;
+
+pub use exec::FuPool;
+pub use rob::{EntryState, Rob, RobEntry};

@@ -1,0 +1,304 @@
+//! The re-order buffer: in-order allocation and retirement around an
+//! out-of-order execution window.
+
+use std::collections::VecDeque;
+
+use crate::types::{Cycle, InstrIndex};
+use crate::uop::{Uop, UopKind};
+
+/// Execution state of one ROB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Dispatched into the reservation station, waiting for operands or a
+    /// functional unit.
+    Waiting,
+    /// Issued; completes at the contained cycle.
+    Executing(Cycle),
+    /// Completed (result available to dependents).
+    Done,
+}
+
+/// One in-flight micro-op.
+#[derive(Debug, Clone, Copy)]
+pub struct RobEntry {
+    /// Dynamic stream position.
+    pub index: InstrIndex,
+    /// The micro-op.
+    pub uop: Uop,
+    /// Execution state.
+    pub state: EntryState,
+    /// True while the entry's data depends on an unresolved L2 miss —
+    /// the paper's in-ROB miss flag that triggers SOE switches when it
+    /// reaches the retirement head.
+    pub mem_pending: bool,
+    /// Whether the branch was mispredicted at fetch.
+    pub mispredicted: bool,
+}
+
+/// The re-order buffer. Entries are stored contiguously by stream
+/// position: the entry for position `i` lives at offset `i - head_index`.
+///
+/// # Examples
+///
+/// ```
+/// use soe_sim::backend::{EntryState, Rob};
+/// use soe_sim::{Uop, UopKind};
+///
+/// let mut rob = Rob::new(4);
+/// rob.push(0, Uop::new(UopKind::Alu, 0), false);
+/// assert_eq!(rob.len(), 1);
+/// assert!(rob.producer_done(1, 2)); // producers before the window count as done
+/// assert!(!rob.producer_done(1, 1)); // entry 0 not finished yet
+/// ```
+#[derive(Debug)]
+pub struct Rob {
+    head_index: InstrIndex,
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+}
+
+impl Rob {
+    /// Creates an empty ROB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ROB capacity must be positive");
+        Self {
+            head_index: 0,
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the buffer is full.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Stream position of the oldest in-flight entry (valid even when
+    /// empty: the next position to allocate).
+    pub fn head_index(&self) -> InstrIndex {
+        self.head_index
+    }
+
+    /// Allocates an entry at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full or `index` is not the next sequential
+    /// position.
+    pub fn push(&mut self, index: InstrIndex, uop: Uop, mispredicted: bool) {
+        assert!(!self.is_full(), "ROB overflow");
+        assert_eq!(
+            index,
+            self.head_index + self.entries.len() as u64,
+            "ROB allocation must be sequential"
+        );
+        self.entries.push_back(RobEntry {
+            index,
+            uop,
+            state: EntryState::Waiting,
+            mem_pending: false,
+            mispredicted,
+        });
+    }
+
+    /// The oldest entry.
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Retires (removes) the oldest entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or if the head is not `Done`.
+    pub fn pop_head(&mut self) -> RobEntry {
+        let e = self.entries.pop_front().expect("ROB empty");
+        assert_eq!(e.state, EntryState::Done, "retiring incomplete entry");
+        self.head_index += 1;
+        e
+    }
+
+    /// Shared access by stream position.
+    pub fn get(&self, index: InstrIndex) -> Option<&RobEntry> {
+        let off = index.checked_sub(self.head_index)?;
+        self.entries.get(off as usize)
+    }
+
+    /// Mutable access by stream position.
+    pub fn get_mut(&mut self, index: InstrIndex) -> Option<&mut RobEntry> {
+        let off = index.checked_sub(self.head_index)?;
+        self.entries.get_mut(off as usize)
+    }
+
+    /// Whether the producer `dist` positions before `consumer` has its
+    /// result available (`dist == 0` means no dependence; producers before
+    /// the window have retired).
+    pub fn producer_done(&self, consumer: InstrIndex, dist: u32) -> bool {
+        if dist == 0 {
+            return true;
+        }
+        let Some(p) = consumer.checked_sub(dist as u64) else {
+            return true; // before the start of the program
+        };
+        if p < self.head_index {
+            return true;
+        }
+        match self.get(p) {
+            Some(e) => e.state == EntryState::Done,
+            // Producer not yet renamed (can happen for fetch-buffer
+            // consumers, not for allocated entries).
+            None => false,
+        }
+    }
+
+    /// Finds the youngest store older than `load_index` with the same data
+    /// address, for store-to-load forwarding. Returns its state.
+    pub fn older_store_to(&self, load_index: InstrIndex, addr: u64) -> Option<&RobEntry> {
+        self.entries
+            .iter()
+            .rev()
+            .filter(|e| e.index < load_index)
+            .find(|e| e.uop.kind == UopKind::Store && e.uop.mem_addr == Some(addr))
+    }
+
+    /// Iterates over in-flight entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration oldest-first.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RobEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Squashes every in-flight entry and repoints the window at
+    /// `restart_index` (thread switch or full-pipeline flush).
+    pub fn squash(&mut self, restart_index: InstrIndex) {
+        self.entries.clear();
+        self.head_index = restart_index;
+    }
+
+    /// Occupancy counts: (waiting-in-RS, loads, stores).
+    pub fn occupancy(&self) -> (usize, usize, usize) {
+        let mut waiting = 0;
+        let mut loads = 0;
+        let mut stores = 0;
+        for e in &self.entries {
+            if e.state == EntryState::Waiting {
+                waiting += 1;
+            }
+            match e.uop.kind {
+                UopKind::Load => loads += 1,
+                UopKind::Store => stores += 1,
+                _ => {}
+            }
+        }
+        (waiting, loads, stores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alu(pc: u64) -> Uop {
+        Uop::new(UopKind::Alu, pc)
+    }
+
+    #[test]
+    fn sequential_allocation_and_retirement() {
+        let mut rob = Rob::new(4);
+        rob.push(0, alu(0), false);
+        rob.push(1, alu(4), false);
+        rob.get_mut(0).unwrap().state = EntryState::Done;
+        let e = rob.pop_head();
+        assert_eq!(e.index, 0);
+        assert_eq!(rob.head_index(), 1);
+        assert_eq!(rob.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn non_sequential_push_panics() {
+        let mut rob = Rob::new(4);
+        rob.push(5, alu(0), false);
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn retiring_waiting_entry_panics() {
+        let mut rob = Rob::new(4);
+        rob.push(0, alu(0), false);
+        rob.pop_head();
+    }
+
+    #[test]
+    fn producer_tracking() {
+        let mut rob = Rob::new(8);
+        rob.push(0, alu(0), false);
+        rob.push(1, alu(4), false);
+        assert!(!rob.producer_done(1, 1));
+        rob.get_mut(0).unwrap().state = EntryState::Done;
+        assert!(rob.producer_done(1, 1));
+        assert!(rob.producer_done(1, 5), "pre-program producers are done");
+        assert!(rob.producer_done(1, 0), "no dependence");
+    }
+
+    #[test]
+    fn retired_producers_count_as_done() {
+        let mut rob = Rob::new(4);
+        rob.push(0, alu(0), false);
+        rob.get_mut(0).unwrap().state = EntryState::Done;
+        rob.pop_head();
+        rob.push(1, alu(4), false);
+        assert!(rob.producer_done(1, 1));
+    }
+
+    #[test]
+    fn store_forwarding_finds_youngest_older_store() {
+        let mut rob = Rob::new(8);
+        rob.push(0, Uop::new(UopKind::Store, 0).with_mem(0x100), false);
+        rob.push(1, Uop::new(UopKind::Store, 4).with_mem(0x100), false);
+        rob.push(2, Uop::new(UopKind::Load, 8).with_mem(0x100), false);
+        let s = rob.older_store_to(2, 0x100).expect("store found");
+        assert_eq!(s.index, 1, "youngest older store wins");
+        assert!(rob.older_store_to(2, 0x200).is_none());
+        assert!(rob.older_store_to(0, 0x100).is_none(), "no younger stores");
+    }
+
+    #[test]
+    fn squash_empties_and_repoints() {
+        let mut rob = Rob::new(4);
+        rob.push(0, alu(0), false);
+        rob.squash(42);
+        assert!(rob.is_empty());
+        assert_eq!(rob.head_index(), 42);
+        rob.push(42, alu(0), false);
+        assert_eq!(rob.len(), 1);
+    }
+
+    #[test]
+    fn occupancy_counts_kinds() {
+        let mut rob = Rob::new(8);
+        rob.push(0, Uop::new(UopKind::Load, 0).with_mem(0x1), false);
+        rob.push(1, Uop::new(UopKind::Store, 4).with_mem(0x2), false);
+        rob.push(2, alu(8), false);
+        rob.get_mut(2).unwrap().state = EntryState::Done;
+        let (waiting, loads, stores) = rob.occupancy();
+        assert_eq!((waiting, loads, stores), (2, 1, 1));
+    }
+}

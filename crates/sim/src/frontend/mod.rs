@@ -1,0 +1,11 @@
+//! The in-order front end: branch prediction, BTB and the fetch unit.
+
+mod btb;
+mod fetch;
+mod predictor;
+mod ras;
+
+pub use btb::Btb;
+pub use fetch::{FetchEntry, FetchUnit};
+pub use predictor::{Bimodal, DirectionPredictor, Gshare, PredictorStats, Tournament};
+pub use ras::Ras;

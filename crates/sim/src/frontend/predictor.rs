@@ -1,0 +1,413 @@
+//! A gshare direction predictor with 2-bit saturating counters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::PredictorConfig;
+use crate::types::Addr;
+
+/// Direction-prediction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorStats {
+    /// Predicted branches.
+    pub predictions: u64,
+    /// Mispredicted branches.
+    pub mispredictions: u64,
+}
+
+impl PredictorStats {
+    /// Misprediction ratio; `0.0` with no predictions.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// gshare: a pattern history table of 2-bit saturating counters indexed by
+/// `pc XOR global-history`.
+///
+/// The predictor state is shared between SOE threads and is *not* flushed
+/// on thread switches (Section 4.1) — threads perturb each other's history
+/// and counters, one of the resource-sharing effects the paper notes
+/// lowers per-thread performance below true single-thread runs.
+///
+/// # Examples
+///
+/// ```
+/// use soe_sim::config::PredictorConfig;
+/// use soe_sim::frontend::Gshare;
+///
+/// let cfg = PredictorConfig {
+///     history_bits: 8, pht_bits: 10, btb_entries: 64, mispredict_penalty: 14,
+///     kind: Default::default(),
+/// };
+/// let mut p = Gshare::new(cfg);
+/// // Once the history register saturates at all-taken, the same counter
+/// // is trained every time and the branch is learned.
+/// for _ in 0..32 { p.train(0x40, true); }
+/// assert!(p.predict(0x40)); // learned always-taken
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    history: u64,
+    history_mask: u64,
+    pht: Vec<u8>,
+    pht_mask: u64,
+    stats: PredictorStats,
+}
+
+impl Gshare {
+    /// Creates a predictor with all counters weakly not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pht_bits` is zero or greater than 28.
+    pub fn new(cfg: PredictorConfig) -> Self {
+        assert!(
+            cfg.pht_bits > 0 && cfg.pht_bits <= 28,
+            "PHT size must be reasonable"
+        );
+        Self {
+            history: 0,
+            history_mask: (1u64 << cfg.history_bits.min(63)) - 1,
+            pht: vec![1; 1usize << cfg.pht_bits],
+            pht_mask: (1u64 << cfg.pht_bits) - 1,
+            stats: PredictorStats::default(),
+        }
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        (((pc >> 2) ^ self.history) & self.pht_mask) as usize
+    }
+
+    /// Predicted direction for the branch at `pc` under the current
+    /// history, without updating any state.
+    pub fn predict(&self, pc: Addr) -> bool {
+        self.pht[self.index(pc)] >= 2
+    }
+
+    /// Trains the counter and shifts the history with the actual outcome,
+    /// without recording a prediction.
+    pub fn train(&mut self, pc: Addr, taken: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.pht[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = ((self.history << 1) | taken as u64) & self.history_mask;
+    }
+
+    /// Predicts, records the prediction against the actual outcome, then
+    /// trains — the trace-driven fetch path (outcome known at fetch,
+    /// immediate update).
+    pub fn predict_and_train(&mut self, pc: Addr, taken: bool) -> bool {
+        let prediction = self.predict(pc);
+        self.stats.predictions += 1;
+        if prediction != taken {
+            self.stats.mispredictions += 1;
+        }
+        self.train(pc, taken);
+        prediction
+    }
+
+    /// Accuracy counters.
+    pub fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PredictorConfig {
+        PredictorConfig {
+            history_bits: 8,
+            pht_bits: 12,
+            btb_entries: 64,
+            mispredict_penalty: 14,
+            kind: Default::default(),
+        }
+    }
+
+    #[test]
+    fn learns_strongly_biased_branch() {
+        let mut p = Gshare::new(cfg());
+        for _ in 0..16 {
+            p.predict_and_train(0x100, true);
+        }
+        let before = p.stats().mispredictions;
+        for _ in 0..100 {
+            p.predict_and_train(0x100, true);
+        }
+        assert_eq!(
+            p.stats().mispredictions,
+            before,
+            "no more misses once learned"
+        );
+    }
+
+    #[test]
+    fn learns_alternating_pattern_via_history() {
+        let mut p = Gshare::new(cfg());
+        let mut taken = false;
+        for _ in 0..64 {
+            p.predict_and_train(0x200, taken);
+            taken = !taken;
+        }
+        // After warmup the history disambiguates the alternation.
+        let before = p.stats().mispredictions;
+        for _ in 0..64 {
+            p.predict_and_train(0x200, taken);
+            taken = !taken;
+        }
+        let new_misses = p.stats().mispredictions - before;
+        assert!(
+            new_misses <= 4,
+            "history should capture alternation: {new_misses}"
+        );
+    }
+
+    #[test]
+    fn random_branch_mispredicts_about_half() {
+        let mut p = Gshare::new(cfg());
+        // A deterministic pseudo-random sequence.
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        let mut mispredicts = 0;
+        let n = 4096;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let taken = x & 1 == 1;
+            if p.predict_and_train(0x300, taken) != taken {
+                mispredicts += 1;
+            }
+        }
+        let rate = mispredicts as f64 / n as f64;
+        assert!(rate > 0.3 && rate < 0.7, "rate {rate}");
+    }
+
+    #[test]
+    fn stats_rate() {
+        let mut p = Gshare::new(cfg());
+        p.predict_and_train(0, true);
+        assert!(p.stats().mispredict_rate() > 0.0);
+    }
+}
+
+/// A branch direction predictor, as seen by the fetch unit.
+///
+/// [`Gshare`] is the default; [`Bimodal`] and [`Tournament`] exist for
+/// predictor ablations (`PredictorKind`). All are trained trace-driven
+/// (outcome known at fetch, immediate update) and shared between SOE
+/// threads without flushing.
+pub trait DirectionPredictor {
+    /// Predicts the branch at `pc`, records accuracy against the actual
+    /// outcome and trains.
+    fn predict_and_train(&mut self, pc: Addr, taken: bool) -> bool;
+
+    /// Accuracy counters.
+    fn stats(&self) -> PredictorStats;
+}
+
+impl DirectionPredictor for Gshare {
+    fn predict_and_train(&mut self, pc: Addr, taken: bool) -> bool {
+        Gshare::predict_and_train(self, pc, taken)
+    }
+    fn stats(&self) -> PredictorStats {
+        Gshare::stats(self)
+    }
+}
+
+/// A history-less bimodal predictor: one 2-bit counter per PC hash.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    pht: Vec<u8>,
+    mask: u64,
+    stats: PredictorStats,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `2^pht_bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pht_bits` is zero or greater than 28.
+    pub fn new(pht_bits: u32) -> Self {
+        assert!(
+            pht_bits > 0 && pht_bits <= 28,
+            "PHT size must be reasonable"
+        );
+        Self {
+            pht: vec![1; 1usize << pht_bits],
+            mask: (1u64 << pht_bits) - 1,
+            stats: PredictorStats::default(),
+        }
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Prediction without updating state.
+    pub fn predict(&self, pc: Addr) -> bool {
+        self.pht[self.index(pc)] >= 2
+    }
+
+    fn train(&mut self, pc: Addr, taken: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.pht[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict_and_train(&mut self, pc: Addr, taken: bool) -> bool {
+        let prediction = self.predict(pc);
+        self.stats.predictions += 1;
+        if prediction != taken {
+            self.stats.mispredictions += 1;
+        }
+        self.train(pc, taken);
+        prediction
+    }
+    fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+}
+
+/// An Alpha-21264-style tournament predictor: gshare and bimodal race,
+/// and a per-PC 2-bit chooser learns which to trust.
+#[derive(Debug, Clone)]
+pub struct Tournament {
+    gshare: Gshare,
+    bimodal: Bimodal,
+    chooser: Vec<u8>, // 0..=3: low = trust bimodal, high = trust gshare
+    mask: u64,
+    stats: PredictorStats,
+}
+
+impl Tournament {
+    /// Creates a tournament predictor sized by the same configuration as
+    /// its gshare component.
+    pub fn new(cfg: PredictorConfig) -> Self {
+        Self {
+            gshare: Gshare::new(cfg),
+            bimodal: Bimodal::new(cfg.pht_bits),
+            chooser: vec![2; 1usize << cfg.pht_bits],
+            mask: (1u64 << cfg.pht_bits) - 1,
+            stats: PredictorStats::default(),
+        }
+    }
+}
+
+impl DirectionPredictor for Tournament {
+    fn predict_and_train(&mut self, pc: Addr, taken: bool) -> bool {
+        let g = self.gshare.predict(pc);
+        let b = self.bimodal.predict(pc);
+        let idx = ((pc >> 2) & self.mask) as usize;
+        let prediction = if self.chooser[idx] >= 2 { g } else { b };
+        self.stats.predictions += 1;
+        if prediction != taken {
+            self.stats.mispredictions += 1;
+        }
+        // Chooser trains toward whichever component was right (only when
+        // they disagree).
+        if g != b {
+            let c = &mut self.chooser[idx];
+            if g == taken {
+                *c = (*c + 1).min(3);
+            } else {
+                *c = c.saturating_sub(1);
+            }
+        }
+        self.gshare.train(pc, taken);
+        self.bimodal.train(pc, taken);
+        prediction
+    }
+    fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tournament_tests {
+    use super::*;
+
+    fn cfg() -> PredictorConfig {
+        PredictorConfig {
+            history_bits: 10,
+            pht_bits: 12,
+            btb_entries: 64,
+            mispredict_penalty: 14,
+            kind: Default::default(),
+        }
+    }
+
+    #[test]
+    fn bimodal_learns_biased_branches_immediately() {
+        let mut p = Bimodal::new(12);
+        p.predict_and_train(0x40, true);
+        p.predict_and_train(0x40, true);
+        assert!(p.predict(0x40));
+        assert_eq!(p.stats().predictions, 2);
+    }
+
+    #[test]
+    fn tournament_beats_or_matches_components_on_mixed_workload() {
+        // A mix: some always-taken branches (bimodal-friendly) and one
+        // alternating branch (history-friendly).
+        let run = |p: &mut dyn DirectionPredictor| {
+            let mut flip = false;
+            for i in 0..20_000u64 {
+                let pc = 0x100 + (i % 8) * 4;
+                if i % 8 == 7 {
+                    flip = !flip;
+                    p.predict_and_train(pc, flip);
+                } else {
+                    p.predict_and_train(pc, true);
+                }
+            }
+            p.stats().mispredict_rate()
+        };
+        let mut g = Gshare::new(cfg());
+        let mut b = Bimodal::new(12);
+        let mut t = Tournament::new(cfg());
+        let (rg, rb, rt) = (run(&mut g), run(&mut b), run(&mut t));
+        assert!(
+            rt <= rg.min(rb) + 0.02,
+            "tournament {rt:.4} vs gshare {rg:.4}, bimodal {rb:.4}"
+        );
+    }
+
+    #[test]
+    fn bimodal_cannot_learn_alternation_but_gshare_can() {
+        let mut b = Bimodal::new(12);
+        let mut g = Gshare::new(cfg());
+        let mut flip = false;
+        for _ in 0..4_096 {
+            flip = !flip;
+            b.predict_and_train(0x80, flip);
+            g.predict_and_train(0x80, flip);
+        }
+        assert!(
+            b.stats().mispredict_rate() > 0.4,
+            "{}",
+            b.stats().mispredict_rate()
+        );
+        assert!(
+            g.stats().mispredict_rate() < 0.1,
+            "{}",
+            g.stats().mispredict_rate()
+        );
+    }
+}

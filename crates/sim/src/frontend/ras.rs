@@ -1,0 +1,119 @@
+//! The return address stack: return-target prediction for call/return
+//! pairs.
+
+use crate::types::Addr;
+
+/// A fixed-depth circular return address stack.
+///
+/// Calls push their fall-through address; returns pop the predicted
+/// target. Overflow silently wraps (overwriting the oldest entry) and
+/// underflow predicts nothing — both produce the return mispredicts real
+/// RASes exhibit. Like the rest of the front-end prediction state, the
+/// RAS is shared between SOE threads and not repaired on thread switches,
+/// so deep switch activity corrupts it — one more sharing effect
+/// depressing per-thread IPC under SOE.
+///
+/// # Examples
+///
+/// ```
+/// use soe_sim::frontend::Ras;
+///
+/// let mut r = Ras::new(4);
+/// r.push(0x1004);
+/// assert_eq!(r.pop(), Some(0x1004));
+/// assert_eq!(r.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ras {
+    entries: Vec<Addr>,
+    top: usize,
+    live: usize,
+}
+
+impl Ras {
+    /// Creates an empty RAS with `depth` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "RAS needs at least one entry");
+        Self {
+            entries: vec![0; depth],
+            top: 0,
+            live: 0,
+        }
+    }
+
+    /// Pushes a return address (a call was fetched).
+    pub fn push(&mut self, addr: Addr) {
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = addr;
+        self.live = (self.live + 1).min(self.entries.len());
+    }
+
+    /// Pops the predicted return target, or `None` when empty.
+    pub fn pop(&mut self) -> Option<Addr> {
+        if self.live == 0 {
+            return None;
+        }
+        let addr = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.live -= 1;
+        Some(addr)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = Ras::new(8);
+        r.push(0x10);
+        r.push(0x20);
+        assert_eq!(r.pop(), Some(0x20));
+        assert_eq!(r.pop(), Some(0x10));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_and_loses_oldest() {
+        let mut r = Ras::new(2);
+        r.push(0x10);
+        r.push(0x20);
+        r.push(0x30); // overwrites 0x10's slot
+        assert_eq!(r.pop(), Some(0x30));
+        assert_eq!(r.pop(), Some(0x20));
+        // The third pop returns the stale wrapped entry or nothing; with
+        // live tracking it is empty.
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn underflow_predicts_nothing() {
+        let mut r = Ras::new(4);
+        assert_eq!(r.pop(), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn len_saturates_at_depth() {
+        let mut r = Ras::new(2);
+        for a in 0..5u64 {
+            r.push(a);
+        }
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,295 @@
+//! A generic set-associative, write-back, LRU cache tag array.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::CacheConfig;
+use crate::types::Addr;
+
+/// Result of filling a line: the line that had to be evicted, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Line-aligned address of the victim.
+    pub line_addr: Addr,
+    /// Whether the victim was dirty (needs a write-back bus transfer).
+    pub dirty: bool,
+}
+
+/// Hit/miss counters of one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Dirty evictions (write-backs).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio; `0.0` when no accesses were made.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// A set-associative cache tag array with true-LRU replacement and
+/// write-back/write-allocate semantics.
+///
+/// This models only tags and replacement state (timing lives in the
+/// [`crate::mem::Hierarchy`]); it is shared by the L1I, L1D and L2
+/// instances.
+///
+/// # Examples
+///
+/// ```
+/// use soe_sim::config::CacheConfig;
+/// use soe_sim::mem::Cache;
+///
+/// let mut c = Cache::new(CacheConfig { sets: 2, ways: 1, line_bytes: 64, hit_latency: 1, mshrs: 4 });
+/// assert!(!c.lookup(0x0));         // cold miss
+/// c.fill(0x0, false);
+/// assert!(c.lookup(0x0));          // now a hit
+/// assert!(!c.lookup(0x40));        // different set, still cold
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    use_counter: u64,
+    stats: CacheStats,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`CacheConfig::validate`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        Self {
+            lines: vec![Line::default(); cfg.sets * cfg.ways],
+            use_counter: 0,
+            stats: CacheStats::default(),
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: (cfg.sets - 1) as u64,
+            cfg,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Line-aligned address of `addr`.
+    pub fn line_addr(&self, addr: Addr) -> Addr {
+        addr >> self.line_shift << self.line_shift
+    }
+
+    fn set_index(&self, addr: Addr) -> usize {
+        ((addr >> self.line_shift) & self.set_mask) as usize
+    }
+
+    fn tag(&self, addr: Addr) -> u64 {
+        addr >> self.line_shift >> self.cfg.sets.trailing_zeros()
+    }
+
+    fn set(&mut self, addr: Addr) -> &mut [Line] {
+        let idx = self.set_index(addr);
+        &mut self.lines[idx * self.cfg.ways..(idx + 1) * self.cfg.ways]
+    }
+
+    /// Looks up `addr`; updates LRU state and hit/miss counters.
+    pub fn lookup(&mut self, addr: Addr) -> bool {
+        self.use_counter += 1;
+        let counter = self.use_counter;
+        let tag = self.tag(addr);
+        let set = self.set(addr);
+        for line in set.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.last_use = counter;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Checks for presence without touching LRU or counters.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let tag = self.tag(addr);
+        let idx = self.set_index(addr);
+        self.lines[idx * self.cfg.ways..(idx + 1) * self.cfg.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Marks the line containing `addr` dirty, if present. Returns whether
+    /// the line was present.
+    pub fn mark_dirty(&mut self, addr: Addr) -> bool {
+        let tag = self.tag(addr);
+        let set = self.set(addr);
+        for line in set.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fills the line containing `addr` (allocating it `dirty` if a store
+    /// caused the fill) and returns the eviction it displaced, if any.
+    pub fn fill(&mut self, addr: Addr, dirty: bool) -> Option<Eviction> {
+        self.use_counter += 1;
+        let counter = self.use_counter;
+        let tag = self.tag(addr);
+        let set_idx = self.set_index(addr);
+        let ways = self.cfg.ways;
+        let sets_shift = self.cfg.sets.trailing_zeros();
+        let line_shift = self.line_shift;
+        let set = &mut self.lines[set_idx * ways..(set_idx + 1) * ways];
+
+        // Refill of an already-present line just refreshes it.
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_use = counter;
+            line.dirty |= dirty;
+            return None;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_use } else { 0 })
+            .expect("ways > 0");
+        let evicted = victim.valid.then(|| Eviction {
+            line_addr: (victim.tag << sets_shift | set_idx as u64) << line_shift,
+            dirty: victim.dirty,
+        });
+        if let Some(e) = &evicted {
+            if e.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty,
+            last_use: counter,
+        };
+        evicted
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig {
+            sets: 2,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+            mshrs: 4,
+        })
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = tiny();
+        assert!(!c.lookup(0x100));
+        c.fill(0x100, false);
+        assert!(c.lookup(0x100));
+        assert!(c.lookup(0x13f)); // same line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 lines: addresses with bit 6 clear (line 64B, 2 sets).
+        c.fill(0x000, false);
+        c.fill(0x080, false); // same set (stride 128 = 2 sets * 64)
+        assert!(c.lookup(0x000)); // touch first; second is now LRU
+        let ev = c.fill(0x100, false).expect("eviction");
+        assert_eq!(ev.line_addr, 0x080);
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x080));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.fill(0x000, true);
+        c.fill(0x080, false);
+        c.fill(0x100, false); // evicts 0x000 (dirty)
+        let s = c.stats();
+        assert_eq!(s.writebacks, 1);
+    }
+
+    #[test]
+    fn mark_dirty_requires_presence() {
+        let mut c = tiny();
+        assert!(!c.mark_dirty(0x40));
+        c.fill(0x40, false);
+        assert!(c.mark_dirty(0x40));
+        // Evicting it now should count a writeback.
+        c.fill(0xc0, false);
+        c.fill(0x140, false);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn refill_of_present_line_does_not_evict() {
+        let mut c = tiny();
+        c.fill(0x00, false);
+        assert_eq!(c.fill(0x00, true), None);
+        // The line is now dirty via the refill.
+        c.fill(0x80, false);
+        c.fill(0x100, false);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn line_addr_masks_offset() {
+        let c = tiny();
+        assert_eq!(c.line_addr(0x7f), 0x40);
+        assert_eq!(c.line_addr(0x40), 0x40);
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut c = tiny();
+        c.lookup(0x0);
+        c.fill(0x0, false);
+        c.lookup(0x0);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+    }
+}

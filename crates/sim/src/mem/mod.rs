@@ -1,0 +1,14 @@
+//! Memory subsystem: caches, MSHRs, TLBs, the bus and the combined
+//! hierarchy.
+
+mod bus;
+mod cache;
+mod hierarchy;
+mod mshr;
+mod tlb;
+
+pub use bus::Bus;
+pub use cache::{Cache, CacheStats, Eviction};
+pub use hierarchy::{Hierarchy, HierarchyStats, MemResponse};
+pub use mshr::MshrFile;
+pub use tlb::{Tlb, TlbStats};

@@ -1,0 +1,161 @@
+//! Miss status holding registers — outstanding-miss tracking that enables
+//! overlapped (clustered) cache misses.
+
+use std::collections::HashMap;
+
+use crate::types::{Addr, Cycle};
+
+/// Tracks in-flight line fills for one cache level.
+///
+/// A second miss to a line that is already being fetched *coalesces*: it
+/// completes when the original fill arrives and does not issue a new
+/// request. This is the behaviour behind the paper's note that only the
+/// first miss of each overlapped group is counted.
+///
+/// Entries expire lazily: a registration whose fill time has passed is
+/// treated as free capacity.
+///
+/// # Examples
+///
+/// ```
+/// use soe_sim::mem::MshrFile;
+///
+/// let mut m = MshrFile::new(2);
+/// assert_eq!(m.outstanding(0x40, 0), None);
+/// m.register(0x40, 0, 100);
+/// assert_eq!(m.outstanding(0x40, 0), Some(100));
+/// assert_eq!(m.outstanding(0x40, 101), None); // fill arrived
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    inflight: HashMap<Addr, Cycle>,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "need at least one MSHR");
+        Self {
+            capacity,
+            inflight: HashMap::new(),
+        }
+    }
+
+    fn expire(&mut self, now: Cycle) {
+        self.inflight.retain(|_, fill| *fill > now);
+    }
+
+    /// If `line_addr` is already being fetched at `now`, returns the cycle
+    /// its fill completes.
+    pub fn outstanding(&mut self, line_addr: Addr, now: Cycle) -> Option<Cycle> {
+        self.expire(now);
+        self.inflight.get(&line_addr).copied()
+    }
+
+    /// Earliest cycle at which a free entry exists, given `now`.
+    /// Returns `now` when an entry is free immediately.
+    pub fn next_free(&mut self, now: Cycle) -> Cycle {
+        self.expire(now);
+        if self.inflight.len() < self.capacity {
+            now
+        } else {
+            self.inflight
+                .values()
+                .copied()
+                .min()
+                .expect("full file is non-empty")
+        }
+    }
+
+    /// Registers a new in-flight fill: the request occupies an entry from
+    /// `start` until `fill_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is still full at `start` — the caller must
+    /// respect [`MshrFile::next_free`].
+    pub fn register(&mut self, line_addr: Addr, start: Cycle, fill_at: Cycle) {
+        self.expire(start);
+        assert!(
+            self.inflight.len() < self.capacity,
+            "MSHR file is full; caller must wait for next_free()"
+        );
+        self.inflight.insert(line_addr, fill_at);
+    }
+
+    /// Earliest fill completion strictly after `now`, if any fill is in
+    /// flight — used by the machine's quiescent fast-forward.
+    pub fn earliest_fill(&mut self, now: Cycle) -> Option<Cycle> {
+        self.expire(now);
+        self.inflight.values().copied().min()
+    }
+
+    /// Number of live entries at `now`.
+    pub fn len(&mut self, now: Cycle) -> usize {
+        self.expire(now);
+        self.inflight.len()
+    }
+
+    /// Whether the file has no live entries at `now`.
+    pub fn is_empty(&mut self, now: Cycle) -> bool {
+        self.len(now) == 0
+    }
+
+    /// Drops all in-flight entries (used only by tests and machine reset;
+    /// SOE thread switches deliberately do *not* cancel fills).
+    pub fn clear(&mut self) {
+        self.inflight.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesces_to_same_line() {
+        let mut m = MshrFile::new(4);
+        m.register(0x40, 0, 500);
+        assert_eq!(m.outstanding(0x40, 10), Some(500));
+        assert_eq!(m.outstanding(0x80, 10), None);
+    }
+
+    #[test]
+    fn entries_expire_after_fill() {
+        let mut m = MshrFile::new(1);
+        m.register(0x40, 0, 100);
+        assert_eq!(m.len(50), 1);
+        assert_eq!(m.len(100), 0, "entry expires once the fill arrives");
+    }
+
+    #[test]
+    fn next_free_waits_for_earliest_fill() {
+        let mut m = MshrFile::new(2);
+        m.register(0x40, 0, 300);
+        m.register(0x80, 0, 200);
+        assert_eq!(m.next_free(50), 200);
+        // After 200 the 0x80 entry is gone.
+        assert_eq!(m.next_free(200), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn over_registering_panics() {
+        let mut m = MshrFile::new(1);
+        m.register(0x40, 0, 100);
+        m.register(0x80, 0, 100);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut m = MshrFile::new(1);
+        m.register(0x40, 0, 100);
+        m.clear();
+        assert!(m.is_empty(0));
+    }
+}

@@ -1,0 +1,138 @@
+//! Instruction/data TLBs with page walks through the cache hierarchy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::TlbConfig;
+use crate::types::Addr;
+
+/// Hit/miss counters of one TLB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Translations that hit.
+    pub hits: u64,
+    /// Translations that missed (page walks).
+    pub misses: u64,
+}
+
+/// A fully-associative, LRU translation lookaside buffer.
+///
+/// The TLB itself is a pure presence structure; the page-walk *timing*
+/// (walk latency plus a memory-hierarchy access for the page-table entry,
+/// which may itself miss the L2 and trigger an SOE switch) is modelled by
+/// [`crate::mem::Hierarchy::translate_data`] and
+/// [`crate::mem::Hierarchy::translate_instr`].
+///
+/// # Examples
+///
+/// ```
+/// use soe_sim::config::TlbConfig;
+/// use soe_sim::mem::Tlb;
+///
+/// let mut t = Tlb::new(TlbConfig { entries: 2, page_bits: 12, walk_latency: 20 });
+/// assert!(!t.translate(0x1000)); // cold miss
+/// assert!(t.translate(0x1fff)); // same page
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    entries: Vec<(u64, u64)>, // (vpn, last_use)
+    use_counter: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry count is zero.
+    pub fn new(cfg: TlbConfig) -> Self {
+        assert!(cfg.entries > 0, "TLB needs at least one entry");
+        Self {
+            cfg,
+            entries: Vec::new(),
+            use_counter: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    /// Virtual page number of `addr`.
+    pub fn vpn(&self, addr: Addr) -> u64 {
+        addr >> self.cfg.page_bits
+    }
+
+    /// Translates `addr`: returns `true` on a TLB hit. A miss installs the
+    /// entry (the caller charges the walk latency).
+    pub fn translate(&mut self, addr: Addr) -> bool {
+        self.use_counter += 1;
+        let vpn = self.vpn(addr);
+        if let Some(e) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
+            e.1 = self.use_counter;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if self.entries.len() == self.cfg.entries {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, u))| *u)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((vpn, self.use_counter));
+        false
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig {
+            entries: 2,
+            page_bits: 12,
+            walk_latency: 20,
+        })
+    }
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = tiny();
+        assert!(!t.translate(0x0));
+        assert!(t.translate(0xfff));
+        assert!(!t.translate(0x1000));
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = tiny();
+        t.translate(0x0000); // page 0
+        t.translate(0x1000); // page 1
+        t.translate(0x0000); // touch page 0
+        t.translate(0x2000); // page 2 evicts page 1
+        assert!(t.translate(0x0000), "page 0 retained");
+        assert!(!t.translate(0x1000), "page 1 evicted");
+    }
+
+    #[test]
+    fn vpn_uses_page_bits() {
+        let t = tiny();
+        assert_eq!(t.vpn(0x3fff), 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! Fundamental newtypes shared across the simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Simulated clock cycle count.
+pub type Cycle = u64;
+
+/// A byte address in the simulated (physical) address space.
+pub type Addr = u64;
+
+/// Position of a micro-op in a thread's dynamic instruction stream.
+///
+/// Traces are pure functions of this index (see
+/// [`crate::trace::TraceSource`]), which is what makes squash-and-replay
+/// after a thread switch or branch redirect trivially correct.
+pub type InstrIndex = u64;
+
+/// Identifier of a hardware thread context (0-based).
+///
+/// # Examples
+///
+/// ```
+/// use soe_sim::ThreadId;
+///
+/// let t = ThreadId::new(1);
+/// assert_eq!(t.index(), 1);
+/// assert_eq!(t.to_string(), "T1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ThreadId(u8);
+
+impl ThreadId {
+    /// Creates a thread id.
+    pub fn new(index: u8) -> Self {
+        Self(index)
+    }
+
+    /// The 0-based index.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u8> for ThreadId {
+    fn from(v: u8) -> Self {
+        Self(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_roundtrip() {
+        let t = ThreadId::from(3u8);
+        assert_eq!(t.index(), 3);
+        assert_eq!(format!("{t}"), "T3");
+    }
+
+    #[test]
+    fn thread_ids_order() {
+        assert!(ThreadId::new(0) < ThreadId::new(1));
+    }
+}

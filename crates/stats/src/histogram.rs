@@ -1,0 +1,218 @@
+//! Linear- and log-binned histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// One histogram bin: half-open range `[lo, hi)` and a count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramBin {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge (the final bin includes its upper edge).
+    pub hi: f64,
+    /// Number of observations in the bin.
+    pub count: u64,
+}
+
+/// A fixed-range histogram with uniformly sized bins (optionally on a log
+/// scale).
+///
+/// Used, for example, to show how many F = 0 runs land at fairness below
+/// 0.1 — the paper's "over a third of our runs achieved poor fairness"
+/// observation.
+///
+/// # Examples
+///
+/// ```
+/// use soe_stats::Histogram;
+///
+/// let mut h = Histogram::linear(0.0, 1.0, 4);
+/// h.record(0.05);
+/// h.record(0.9);
+/// assert_eq!(h.bins()[0].count, 1);
+/// assert_eq!(h.bins()[3].count, 1);
+/// assert_eq!(h.total(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    log: bool,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins spanning `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn linear(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            log: false,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Creates a histogram with `bins` bins uniform in `log10` spanning
+    /// `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo` is not strictly positive or `lo >= hi`.
+    pub fn log10(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo > 0.0 && lo < hi, "log histogram needs 0 < lo < hi");
+        Self {
+            lo,
+            hi,
+            log: true,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    fn position(&self, value: f64) -> f64 {
+        if self.log {
+            (value.log10() - self.lo.log10()) / (self.hi.log10() - self.lo.log10())
+        } else {
+            (value - self.lo) / (self.hi - self.lo)
+        }
+    }
+
+    /// Records one observation. Values outside the range are tallied in
+    /// underflow/overflow counters rather than dropped.
+    pub fn record(&mut self, value: f64) {
+        if value < self.lo || (self.log && value <= 0.0) {
+            self.underflow += 1;
+            return;
+        }
+        if value > self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let frac = self.position(value);
+        let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Bin edges and counts.
+    pub fn bins(&self) -> Vec<HistogramBin> {
+        let n = self.counts.len();
+        (0..n)
+            .map(|i| {
+                let (lo, hi) = if self.log {
+                    let llo = self.lo.log10();
+                    let lhi = self.hi.log10();
+                    let step = (lhi - llo) / n as f64;
+                    (
+                        10f64.powf(llo + step * i as f64),
+                        10f64.powf(llo + step * (i + 1) as f64),
+                    )
+                } else {
+                    let step = (self.hi - self.lo) / n as f64;
+                    (self.lo + step * i as f64, self.lo + step * (i + 1) as f64)
+                };
+                HistogramBin {
+                    lo,
+                    hi,
+                    count: self.counts[i],
+                }
+            })
+            .collect()
+    }
+
+    /// Total observations recorded inside the range.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Fraction of in-range observations with value below `threshold`.
+    /// Returns `0.0` when the histogram is empty.
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let below: u64 = self
+            .bins()
+            .iter()
+            .filter(|b| b.hi <= threshold)
+            .map(|b| b.count)
+            .sum();
+        below as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::linear(0.0, 10.0, 10);
+        for v in [0.0, 0.5, 9.99, 10.0, 5.0] {
+            h.record(v);
+        }
+        let bins = h.bins();
+        assert_eq!(bins[0].count, 2);
+        assert_eq!(bins[9].count, 2); // 9.99 and 10.0 (upper edge in last bin)
+        assert_eq!(bins[5].count, 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flows() {
+        let mut h = Histogram::linear(0.0, 1.0, 2);
+        h.record(-0.1);
+        h.record(1.1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn log_binning_decades() {
+        let mut h = Histogram::log10(0.01, 100.0, 4);
+        h.record(0.05); // decade [0.01, 0.1)
+        h.record(0.5); // decade [0.1, 1)
+        h.record(5.0); // decade [1, 10)
+        h.record(50.0); // decade [10, 100)
+        for bin in h.bins() {
+            assert_eq!(bin.count, 1, "bin {bin:?}");
+        }
+    }
+
+    #[test]
+    fn fraction_below_threshold() {
+        let mut h = Histogram::linear(0.0, 1.0, 10);
+        for v in [0.05, 0.05, 0.5, 0.95] {
+            h.record(v);
+        }
+        assert!((h.fraction_below(0.1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::linear(0.0, 1.0, 0);
+    }
+}

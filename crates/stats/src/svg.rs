@@ -1,0 +1,341 @@
+//! Minimal SVG rendering of time series and bar charts — dependency-free
+//! figure output for the experiment binaries.
+
+use std::fmt::Write as _;
+
+use crate::TimeSeries;
+
+/// Palette cycled across series.
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 360.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 32.0;
+const MARGIN_B: f64 = 48.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn axis_ticks(lo: f64, hi: f64) -> Vec<f64> {
+    if hi <= lo {
+        return vec![lo];
+    }
+    let raw = (hi - lo) / 5.0;
+    let mag = 10f64.powf(raw.log10().floor());
+    let step = [1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|s| (hi - lo) / s <= 6.0)
+        .unwrap_or(mag * 10.0);
+    let mut t = (lo / step).ceil() * step;
+    let mut out = Vec::new();
+    while t <= hi + step * 1e-9 {
+        out.push(t);
+        t += step;
+    }
+    out
+}
+
+/// Renders one or more [`TimeSeries`] as an SVG line chart with axes,
+/// ticks and a legend.
+///
+/// # Examples
+///
+/// ```
+/// use soe_stats::{svg, TimeSeries};
+///
+/// let mut ts = TimeSeries::new("ipc");
+/// ts.push(0.0, 1.0);
+/// ts.push(1.0, 2.0);
+/// let doc = svg::line_chart(&[ts], "IPC over time", "cycles", "IPC");
+/// assert!(doc.starts_with("<svg"));
+/// assert!(doc.contains("polyline"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `series` is empty or every series is empty.
+pub fn line_chart(series: &[TimeSeries], title: &str, x_label: &str, y_label: &str) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.iter().map(|(x, _)| x))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.iter().map(|(_, y)| y))
+        .collect();
+    assert!(!xs.is_empty(), "all series are empty");
+    let (x_lo, x_hi) = bounds(&xs);
+    let (y_lo, y_hi) = bounds(&ys);
+    let (y_lo, y_hi) = pad(y_lo, y_hi);
+
+    let px = |x: f64| MARGIN_L + (x - x_lo) / span(x_lo, x_hi) * (WIDTH - MARGIN_L - MARGIN_R);
+    let py =
+        |y: f64| HEIGHT - MARGIN_B - (y - y_lo) / span(y_lo, y_hi) * (HEIGHT - MARGIN_T - MARGIN_B);
+
+    let mut s = header(title);
+    // Axes.
+    let _ = writeln!(
+        s,
+        r##"<line x1="{l}" y1="{b}" x2="{r}" y2="{b}" stroke="#333"/><line x1="{l}" y1="{t}" x2="{l}" y2="{b}" stroke="#333"/>"##,
+        l = MARGIN_L,
+        r = WIDTH - MARGIN_R,
+        t = MARGIN_T,
+        b = HEIGHT - MARGIN_B
+    );
+    for t in axis_ticks(x_lo, x_hi) {
+        let _ = writeln!(
+            s,
+            r##"<line x1="{x:.1}" y1="{b}" x2="{x:.1}" y2="{b2}" stroke="#333"/><text x="{x:.1}" y="{ty}" font-size="11" text-anchor="middle">{v}</text>"##,
+            x = px(t),
+            b = HEIGHT - MARGIN_B,
+            b2 = HEIGHT - MARGIN_B + 4.0,
+            ty = HEIGHT - MARGIN_B + 16.0,
+            v = fmt_tick(t)
+        );
+    }
+    for t in axis_ticks(y_lo, y_hi) {
+        let _ = writeln!(
+            s,
+            r##"<line x1="{l2}" y1="{y:.1}" x2="{l}" y2="{y:.1}" stroke="#333"/><text x="{tx}" y="{y:.1}" font-size="11" text-anchor="end" dominant-baseline="middle">{v}</text>"##,
+            l = MARGIN_L,
+            l2 = MARGIN_L - 4.0,
+            y = py(t),
+            tx = MARGIN_L - 8.0,
+            v = fmt_tick(t)
+        );
+    }
+    // Series.
+    for (i, ts) in series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let pts: Vec<String> = ts
+            .iter()
+            .map(|(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        let _ = writeln!(
+            s,
+            r##"<polyline fill="none" stroke="{color}" stroke-width="1.5" points="{}"/>"##,
+            pts.join(" ")
+        );
+        // Legend entry.
+        let ly = MARGIN_T + 14.0 * i as f64;
+        let _ = writeln!(
+            s,
+            r##"<line x1="{x}" y1="{ly}" x2="{x2}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{tx}" y="{ly}" font-size="11" dominant-baseline="middle">{name}</text>"##,
+            x = WIDTH - MARGIN_R - 150.0,
+            x2 = WIDTH - MARGIN_R - 130.0,
+            tx = WIDTH - MARGIN_R - 124.0,
+            name = esc(ts.name())
+        );
+    }
+    footer(&mut s, x_label, y_label);
+    s
+}
+
+/// Renders labelled values as an SVG bar chart.
+///
+/// # Panics
+///
+/// Panics if `items` is empty or any value is negative.
+pub fn bar_chart(items: &[(String, f64)], title: &str, y_label: &str) -> String {
+    assert!(!items.is_empty(), "need at least one bar");
+    assert!(
+        items.iter().all(|(_, v)| *v >= 0.0),
+        "bars must be non-negative"
+    );
+    let y_hi = items
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let slot = plot_w / items.len() as f64;
+    let bar_w = slot * 0.7;
+    let py = |y: f64| HEIGHT - MARGIN_B - y / y_hi * (HEIGHT - MARGIN_T - MARGIN_B);
+
+    let mut s = header(title);
+    let _ = writeln!(
+        s,
+        r##"<line x1="{l}" y1="{b}" x2="{r}" y2="{b}" stroke="#333"/><line x1="{l}" y1="{t}" x2="{l}" y2="{b}" stroke="#333"/>"##,
+        l = MARGIN_L,
+        r = WIDTH - MARGIN_R,
+        t = MARGIN_T,
+        b = HEIGHT - MARGIN_B
+    );
+    for t in axis_ticks(0.0, y_hi) {
+        let _ = writeln!(
+            s,
+            r##"<text x="{tx}" y="{y:.1}" font-size="11" text-anchor="end" dominant-baseline="middle">{v}</text>"##,
+            tx = MARGIN_L - 8.0,
+            y = py(t),
+            v = fmt_tick(t)
+        );
+    }
+    for (i, (label, v)) in items.iter().enumerate() {
+        let x = MARGIN_L + slot * i as f64 + (slot - bar_w) / 2.0;
+        let _ = writeln!(
+            s,
+            r##"<rect x="{x:.1}" y="{y:.1}" width="{bar_w:.1}" height="{h:.1}" fill="{c}"/>"##,
+            y = py(*v),
+            h = (HEIGHT - MARGIN_B - py(*v)).max(0.0),
+            c = COLORS[i % COLORS.len()]
+        );
+        let _ = writeln!(
+            s,
+            r##"<text x="{cx:.1}" y="{ty}" font-size="10" text-anchor="middle">{l}</text>"##,
+            cx = x + bar_w / 2.0,
+            ty = HEIGHT - MARGIN_B + 16.0,
+            l = esc(label)
+        );
+    }
+    footer(&mut s, "", y_label);
+    s
+}
+
+fn bounds(v: &[f64]) -> (f64, f64) {
+    let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (lo, hi)
+}
+
+fn pad(lo: f64, hi: f64) -> (f64, f64) {
+    if hi > lo {
+        let p = (hi - lo) * 0.05;
+        (lo - p, hi + p)
+    } else {
+        (lo - 0.5, hi + 0.5)
+    }
+}
+
+fn span(lo: f64, hi: f64) -> f64 {
+    if hi > lo {
+        hi - lo
+    } else {
+        1.0
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 1_000_000.0 {
+        format!("{:.1}M", v / 1_000_000.0)
+    } else if v.abs() >= 10_000.0 {
+        format!("{:.0}k", v / 1_000.0)
+    } else if v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn header(title: &str) -> String {
+    format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">
+<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>
+<text x="{tx}" y="18" font-size="14" text-anchor="middle" font-weight="bold">{t}</text>
+"##,
+        tx = WIDTH / 2.0,
+        t = esc(title)
+    )
+}
+
+fn footer(s: &mut String, x_label: &str, y_label: &str) {
+    if !x_label.is_empty() {
+        let _ = writeln!(
+            s,
+            r##"<text x="{x}" y="{y}" font-size="12" text-anchor="middle">{l}</text>"##,
+            x = WIDTH / 2.0,
+            y = HEIGHT - 10.0,
+            l = esc(x_label)
+        );
+    }
+    if !y_label.is_empty() {
+        let _ = writeln!(
+            s,
+            r##"<text x="14" y="{y}" font-size="12" text-anchor="middle" transform="rotate(-90 14 {y})">{l}</text>"##,
+            y = HEIGHT / 2.0,
+            l = esc(y_label)
+        );
+    }
+    s.push_str("</svg>\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, points: &[(f64, f64)]) -> TimeSeries {
+        let mut ts = TimeSeries::new(name);
+        for (x, y) in points {
+            ts.push(*x, *y);
+        }
+        ts
+    }
+
+    #[test]
+    fn line_chart_is_well_formed() {
+        let s = line_chart(
+            &[
+                series("a", &[(0.0, 1.0), (1.0, 2.0)]),
+                series("b", &[(0.0, 2.0), (1.0, 1.0)]),
+            ],
+            "t",
+            "x",
+            "y",
+        );
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        assert_eq!(s.matches("<polyline").count(), 2);
+        assert!(s.contains(">a</text>"), "legend has series names");
+    }
+
+    #[test]
+    fn bar_chart_draws_one_rect_per_item() {
+        let s = bar_chart(
+            &[("x".into(), 1.0), ("y".into(), 2.0), ("z".into(), 0.0)],
+            "bars",
+            "v",
+        );
+        assert_eq!(s.matches("<rect").count(), 4, "3 bars + background");
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let s = line_chart(
+            &[series("a<b>&c", &[(0.0, 1.0), (1.0, 1.0)])],
+            "t<",
+            "x",
+            "y",
+        );
+        assert!(s.contains("a&lt;b&gt;&amp;c"));
+        assert!(!s.contains("a<b>"));
+    }
+
+    #[test]
+    fn ticks_cover_the_range() {
+        let t = axis_ticks(0.0, 1.0);
+        assert!(t.len() >= 3 && t.len() <= 7, "{t:?}");
+        assert!(t[0] >= 0.0 && *t.last().unwrap() <= 1.0 + 1e-9);
+        let t = axis_ticks(0.0, 8_000_000.0);
+        assert!(t.len() >= 3, "{t:?}");
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = line_chart(&[series("c", &[(0.0, 5.0), (1.0, 5.0)])], "t", "x", "y");
+        assert!(!s.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_input_panics() {
+        line_chart(&[], "t", "x", "y");
+    }
+}

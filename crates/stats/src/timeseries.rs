@@ -1,0 +1,171 @@
+//! Sampled (x, y) traces used for the Figure 5 style time-series plots.
+
+use serde::{Deserialize, Serialize};
+
+/// One sample of a time series: an x coordinate (typically a cycle count)
+/// and a y value (typically an IPC, speedup or fairness value).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Sample position, e.g. cycles since the start of the run.
+    pub x: f64,
+    /// Sample value.
+    pub y: f64,
+}
+
+/// A named, ordered sequence of [`Point`]s.
+///
+/// The experiment runner emits one `TimeSeries` per plotted quantity
+/// (estimated `IPC_ST`, per-thread speedup, achieved fairness, ...) sampled
+/// once per Δ window, mirroring Figure 5 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use soe_stats::TimeSeries;
+///
+/// let mut ts = TimeSeries::new("ipc_st[gcc]");
+/// ts.push(250_000.0, 1.1);
+/// ts.push(500_000.0, 1.3);
+/// assert_eq!(ts.len(), 2);
+/// assert!((ts.mean_y() - 1.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<Point>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The display name supplied at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not monotonically non-decreasing; a time series is
+    /// sampled forward in simulated time.
+    pub fn push(&mut self, x: f64, y: f64) {
+        if let Some(last) = self.points.last() {
+            assert!(x >= last.x, "time series x must be non-decreasing");
+        }
+        self.points.push(Point { x, y });
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The recorded samples in order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Iterator over `(x, y)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.points.iter().map(|p| (p.x, p.y))
+    }
+
+    /// Mean of the y values; `0.0` when empty.
+    pub fn mean_y(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.y).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Smallest y value; `None` when empty.
+    pub fn min_y(&self) -> Option<f64> {
+        self.points.iter().map(|p| p.y).reduce(f64::min)
+    }
+
+    /// Largest y value; `None` when empty.
+    pub fn max_y(&self) -> Option<f64> {
+        self.points.iter().map(|p| p.y).reduce(f64::max)
+    }
+
+    /// The last sample, if any.
+    pub fn last(&self) -> Option<Point> {
+        self.points.last().copied()
+    }
+
+    /// Downsamples to at most `max_points` samples by keeping every k-th
+    /// point (always retaining the final point), for compact rendering.
+    pub fn thinned(&self, max_points: usize) -> TimeSeries {
+        assert!(max_points > 0, "max_points must be positive");
+        if self.points.len() <= max_points {
+            return self.clone();
+        }
+        let stride = self.points.len().div_ceil(max_points);
+        let mut out = TimeSeries::new(self.name.clone());
+        for (i, p) in self.points.iter().enumerate() {
+            if i % stride == 0 {
+                out.points.push(*p);
+            }
+        }
+        if out.points.last() != self.points.last() {
+            out.points.push(*self.points.last().expect("non-empty"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_aggregate() {
+        let mut ts = TimeSeries::new("s");
+        ts.push(0.0, 2.0);
+        ts.push(1.0, 4.0);
+        assert_eq!(ts.name(), "s");
+        assert_eq!(ts.mean_y(), 3.0);
+        assert_eq!(ts.min_y(), Some(2.0));
+        assert_eq!(ts.max_y(), Some(4.0));
+        assert_eq!(ts.last(), Some(Point { x: 1.0, y: 4.0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn non_monotone_x_panics() {
+        let mut ts = TimeSeries::new("s");
+        ts.push(5.0, 1.0);
+        ts.push(4.0, 1.0);
+    }
+
+    #[test]
+    fn thinning_keeps_endpoints() {
+        let mut ts = TimeSeries::new("s");
+        for i in 0..100 {
+            ts.push(i as f64, i as f64);
+        }
+        let thin = ts.thinned(10);
+        assert!(thin.len() <= 11);
+        assert_eq!(thin.points()[0].x, 0.0);
+        assert_eq!(thin.last().unwrap().x, 99.0);
+    }
+
+    #[test]
+    fn thinning_short_series_is_identity() {
+        let mut ts = TimeSeries::new("s");
+        ts.push(0.0, 1.0);
+        assert_eq!(ts.thinned(10), ts);
+    }
+}

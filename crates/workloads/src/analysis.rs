@@ -1,0 +1,190 @@
+//! Static trace analysis: summarize a window of any [`TraceSource`]
+//! without running the simulator — instruction mix, control behaviour,
+//! dependence structure and memory footprint.
+//!
+//! Useful for sanity-checking recorded LIT files, validating generator
+//! calibration and characterizing third-party traces before simulation.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+use soe_sim::{InstrIndex, TraceSource, UopKind};
+
+/// Aggregate statistics of a trace window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Window length in micro-ops.
+    pub window: u64,
+    /// Fraction of loads.
+    pub load_frac: f64,
+    /// Fraction of stores.
+    pub store_frac: f64,
+    /// Fraction of branches.
+    pub branch_frac: f64,
+    /// Fraction of calls (returns match within ±1).
+    pub call_frac: f64,
+    /// Fraction of taken branches among branches.
+    pub taken_frac: f64,
+    /// Mean non-zero producer distance.
+    pub mean_dep_dist: f64,
+    /// Distinct 64-byte data lines touched.
+    pub data_lines: u64,
+    /// Distinct 4-KiB data pages touched.
+    pub data_pages: u64,
+    /// Distinct 64-byte code lines touched.
+    pub code_lines: u64,
+    /// Micro-ops per *fresh* data line (first-touch): a static
+    /// approximation of the instructions-per-miss a cold cache would see.
+    pub instrs_per_fresh_line: f64,
+}
+
+/// Analyzes `count` micro-ops of `source` starting at `start`.
+///
+/// # Examples
+///
+/// ```
+/// use soe_workloads::{analyze_trace, spec, SyntheticTrace};
+///
+/// let t = SyntheticTrace::new(spec::profile("swim").unwrap(), 0x1_0000_0000, 0);
+/// let stats = analyze_trace(&t, 0, 50_000);
+/// assert!(stats.load_frac > 0.2);
+/// assert!(stats.data_lines > 100);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `count == 0`.
+pub fn analyze_trace(source: &dyn TraceSource, start: InstrIndex, count: u64) -> TraceStats {
+    assert!(count > 0, "cannot analyze an empty window");
+    let mut loads = 0u64;
+    let mut stores = 0u64;
+    let mut branches = 0u64;
+    let mut taken = 0u64;
+    let mut calls = 0u64;
+    let mut dep_sum = 0u64;
+    let mut dep_n = 0u64;
+    let mut data_lines: HashSet<u64> = HashSet::new();
+    let mut data_pages: HashSet<u64> = HashSet::new();
+    let mut code_lines: HashSet<u64> = HashSet::new();
+    let mut fresh_lines = 0u64;
+
+    for i in start..start + count {
+        let u = source.uop_at(i);
+        code_lines.insert(u.pc >> 6);
+        for d in u.src_dist {
+            if d > 0 {
+                dep_sum += d as u64;
+                dep_n += 1;
+            }
+        }
+        match u.kind {
+            UopKind::Load => loads += 1,
+            UopKind::Store => stores += 1,
+            UopKind::Branch { taken: t, .. } => {
+                branches += 1;
+                if t {
+                    taken += 1;
+                }
+            }
+            UopKind::Call { .. } => calls += 1,
+            _ => {}
+        }
+        if let Some(addr) = u.mem_addr {
+            if data_lines.insert(addr >> 6) {
+                fresh_lines += 1;
+            }
+            data_pages.insert(addr >> 12);
+        }
+    }
+    let n = count as f64;
+    TraceStats {
+        window: count,
+        load_frac: loads as f64 / n,
+        store_frac: stores as f64 / n,
+        branch_frac: branches as f64 / n,
+        call_frac: calls as f64 / n,
+        taken_frac: if branches == 0 {
+            0.0
+        } else {
+            taken as f64 / branches as f64
+        },
+        mean_dep_dist: if dep_n == 0 {
+            0.0
+        } else {
+            dep_sum as f64 / dep_n as f64
+        },
+        data_lines: data_lines.len() as u64,
+        data_pages: data_pages.len() as u64,
+        code_lines: code_lines.len() as u64,
+        instrs_per_fresh_line: if fresh_lines == 0 {
+            f64::INFINITY
+        } else {
+            n / fresh_lines as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{spec, LitFile, SyntheticTrace};
+
+    fn trace(name: &str) -> SyntheticTrace {
+        SyntheticTrace::new(spec::profile(name).unwrap(), 0x1_0000_0000, 0)
+    }
+
+    #[test]
+    fn mix_matches_the_generating_profile() {
+        let t = trace("swim");
+        let p = t.profile().clone();
+        let s = analyze_trace(&t, 0, 100_000);
+        let non_control = 1.0 - 1.0 / p.block_len as f64;
+        assert!((s.load_frac - p.mix.load * non_control).abs() < 0.02);
+        assert!((s.store_frac - p.mix.store * non_control).abs() < 0.02);
+        assert!(s.branch_frac > 0.0);
+    }
+
+    #[test]
+    fn call_heavy_profile_shows_calls() {
+        let s = analyze_trace(&trace("vortex"), 0, 60_000);
+        assert!(s.call_frac > 0.02, "vortex calls: {}", s.call_frac);
+        let s2 = analyze_trace(&trace("swim"), 0, 60_000);
+        assert_eq!(s2.call_frac, 0.0, "swim has no calls");
+    }
+
+    #[test]
+    fn memory_bound_profiles_touch_more_fresh_lines() {
+        let missy = analyze_trace(&trace("mcf"), 0, 200_000);
+        let compute = analyze_trace(&trace("eon"), 0, 200_000);
+        assert!(
+            missy.instrs_per_fresh_line < compute.instrs_per_fresh_line,
+            "mcf {} vs eon {}",
+            missy.instrs_per_fresh_line,
+            compute.instrs_per_fresh_line
+        );
+    }
+
+    #[test]
+    fn code_footprint_is_bounded_by_the_profile() {
+        let t = trace("gzip");
+        let p = t.profile().clone();
+        let s = analyze_trace(&t, 0, 100_000);
+        let leaves = (p.code_lines / 8).max(1);
+        assert!(s.code_lines <= p.code_lines + leaves * 2 + 2);
+    }
+
+    #[test]
+    fn analysis_works_on_recorded_traces() {
+        let live = trace("apsi");
+        let lit = LitFile::record(&live, 0, 30_000);
+        let a = analyze_trace(&live, 0, 30_000);
+        let b = analyze_trace(&lit, 0, 30_000);
+        assert_eq!(a, b, "recording must not change the statistics");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn empty_window_panics() {
+        analyze_trace(&trace("gcc"), 0, 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Deterministic mixing functions: the randomness backbone of the
+//! synthetic traces.
+//!
+//! Every workload decision (instruction kind, address, dependency
+//! distance, branch outcome) is a pure function of `(seed, instruction
+//! index, salt)`, which makes traces replayable from any position — the
+//! property the simulator's squash-and-replay relies on.
+
+/// SplitMix64-style avalanche of a 64-bit value.
+#[inline]
+pub fn avalanche(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mixes a seed, an instruction index and a salt into a uniform 64-bit
+/// value.
+#[inline]
+pub fn mix(seed: u64, index: u64, salt: u64) -> u64 {
+    avalanche(seed ^ avalanche(index.wrapping_add(salt.wrapping_mul(0x2545_f491_4f6c_dd1d))))
+}
+
+/// A uniform `f64` in `[0, 1)` derived from `(seed, index, salt)`.
+#[inline]
+pub fn unit(seed: u64, index: u64, salt: u64) -> f64 {
+    (mix(seed, index, salt) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A geometric-like positive integer with the given mean, derived from
+/// `(seed, index, salt)` — used for dependency distances.
+///
+/// # Panics
+///
+/// Panics if `mean < 1.0`.
+#[inline]
+pub fn geometric(seed: u64, index: u64, salt: u64, mean: f64) -> u64 {
+    assert!(mean >= 1.0, "geometric mean must be at least 1");
+    let u = unit(seed, index, salt);
+    // Inverse-CDF of a shifted exponential, giving mean ≈ `mean`.
+    let v = 1.0 - (1.0 - u).ln() * (mean - 1.0);
+    v.round().clamp(1.0, 256.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic() {
+        assert_eq!(mix(1, 2, 3), mix(1, 2, 3));
+        assert_ne!(mix(1, 2, 3), mix(1, 2, 4));
+        assert_ne!(mix(1, 2, 3), mix(2, 2, 3));
+    }
+
+    #[test]
+    fn unit_in_range_and_roughly_uniform() {
+        let n = 10_000;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let u = unit(42, i, 7);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_is_close() {
+        for target in [1.0, 3.0, 8.0] {
+            let n = 20_000;
+            let sum: u64 = (0..n).map(|i| geometric(9, i, 1, target)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - target).abs() < target * 0.15 + 0.2,
+                "target {target} got {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_is_at_least_one() {
+        for i in 0..1_000 {
+            assert!(geometric(1, i, 2, 1.5) >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn tiny_mean_panics() {
+        geometric(0, 0, 0, 0.5);
+    }
+}

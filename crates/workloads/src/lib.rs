@@ -1,0 +1,49 @@
+//! Synthetic SPEC-CPU2000-like workloads for the SOE fairness
+//! reproduction.
+//!
+//! The paper drives its simulator with proprietary Long Instruction
+//! Traces (LITs) of SPEC CPU2000. This crate substitutes deterministic
+//! synthetic workloads with the same *statistical* structure:
+//!
+//! * a [`Profile`] describes a benchmark (instruction mix, ILP, branch
+//!   predictability, working sets, last-level miss rate, phases),
+//! * [`SyntheticTrace`] turns a profile into a replayable micro-op stream
+//!   — a pure function of the stream position, which is exactly the
+//!   resume-anywhere property LIT checkpoints provide,
+//! * [`spec`] names sixteen calibrated profiles after the SPEC workloads
+//!   the paper's figures use (gcc, eon, swim, mcf, ...),
+//! * [`pairs`] lists the 16 two-thread combinations of the evaluation,
+//! * [`Checkpoint`] and [`InterruptOverlay`] mirror the LIT snapshot and
+//!   injectable-event machinery.
+//!
+//! # Examples
+//!
+//! ```
+//! use soe_workloads::pairs::paper_pairs;
+//!
+//! let pairs = paper_pairs();
+//! assert_eq!(pairs.len(), 16);
+//! let traces = pairs[0].boxed_traces(); // ready for soe_sim::Machine
+//! assert_eq!(traces.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod checkpoint;
+mod gen;
+pub mod hash;
+mod litfile;
+mod overlay;
+pub mod pairs;
+mod profile;
+pub mod spec;
+
+pub use analysis::{analyze_trace, TraceStats};
+pub use checkpoint::{Checkpoint, InterruptOverlay};
+pub use gen::SyntheticTrace;
+pub use litfile::LitFile;
+pub use overlay::{PauseOverlay, RelocateOverlay};
+pub use pairs::Pair;
+pub use profile::{InstrMix, MemoryBehavior, Phase, Profile};

@@ -1,0 +1,387 @@
+//! Named workload profiles standing in for the SPEC CPU2000 benchmarks
+//! the paper evaluates.
+//!
+//! The parameters are calibrated so that each profile's emergent
+//! behaviour on the simulated P6-class machine lands in the regime the
+//! named SPEC workload is known for:
+//!
+//! * **eon, galgel, gzip** — low miss rate (large `IPM`), decent ILP: the
+//!   threads that monopolize an unfair SOE core,
+//! * **gcc, bzip2, apsi, applu, lucas, mgrid** — moderate miss rates;
+//!   gcc additionally alternates between missy and compute phases,
+//! * **swim, art, mcf** — memory-bound streamers (small `IPM`); mcf also
+//!   has the low ILP of pointer chasing: the threads that starve.
+//!
+//! `IPM` targets follow `1 / (load_fraction · cold_load_prob)`; exact
+//! values emerge from simulation and are validated by the calibration
+//! tests in `soe-core`.
+
+use crate::profile::{InstrMix, MemoryBehavior, Phase, Profile};
+
+fn base(name: &str, seed: u64) -> Profile {
+    Profile {
+        name: name.to_string(),
+        seed,
+        mix: InstrMix {
+            load: 0.25,
+            store: 0.10,
+            mul: 0.04,
+            div: 0.002,
+        },
+        mean_dep_dist: 5.0,
+        branch_predictability: 0.95,
+        block_len: 8,
+        code_lines: 160,
+        call_block_frac: 0.0,
+        mem: MemoryBehavior {
+            hot_lines: 96,
+            warm_lines: 1_024,
+            cold_load_prob: 0.001,
+            warm_load_prob: 0.05,
+            cold_store_prob: 0.0005,
+        },
+        phases: Vec::new(),
+    }
+}
+
+/// All profile names, in a stable order.
+pub const NAMES: [&str; 16] = [
+    "gcc", "eon", "gzip", "bzip2", "mgrid", "swim", "applu", "lucas", "galgel", "apsi", "mcf",
+    "art", "vortex", "twolf", "equake", "wupwise",
+];
+
+/// Returns the named profile, or `None` for an unknown name.
+pub fn profile(name: &str) -> Option<Profile> {
+    let p = match name {
+        // gcc: moderate miss rate with alternating compiler phases,
+        // branchy integer code. IPM target ~2 500.
+        "gcc" => {
+            let mut p = base("gcc", 0x6cc);
+            p.mix = InstrMix {
+                load: 0.26,
+                store: 0.12,
+                mul: 0.01,
+                div: 0.0,
+            };
+            p.mean_dep_dist = 4.0;
+            p.branch_predictability = 0.92;
+            p.block_len = 6;
+            p.call_block_frac = 0.25;
+            p.code_lines = 224;
+            p.mem.cold_load_prob = 1.0 / 650.0;
+            p.phases = vec![
+                Phase {
+                    len_instrs: 1_500_000,
+                    miss_scale: 1.6,
+                    ilp_scale: 0.9,
+                },
+                Phase {
+                    len_instrs: 1_000_000,
+                    miss_scale: 0.4,
+                    ilp_scale: 1.2,
+                },
+            ];
+            p
+        }
+        // eon: C++ ray tracer — tiny data working set, almost no L2
+        // misses, well-predicted branches. IPM target ~20 000.
+        "eon" => {
+            let mut p = base("eon", 0xe0e);
+            p.mix.load = 0.24;
+            p.mean_dep_dist = 5.5;
+            p.branch_predictability = 0.97;
+            p.block_len = 8;
+            p.call_block_frac = 0.3;
+            p.mem.cold_load_prob = 1.0 / 12_000.0;
+            p.mem.warm_load_prob = 0.04;
+            p.mem.cold_store_prob = 0.000_05;
+            p
+        }
+        // gzip: compression over an in-cache window. IPM target ~8 000.
+        "gzip" => {
+            let mut p = base("gzip", 0x621b);
+            p.mix.load = 0.22;
+            p.mean_dep_dist = 4.5;
+            p.branch_predictability = 0.93;
+            p.block_len = 7;
+            p.call_block_frac = 0.15;
+            p.mem.cold_load_prob = 1.0 / 1_760.0;
+            p.mem.cold_store_prob = 0.000_1;
+            p
+        }
+        // bzip2: blocksort compression, moderate misses. IPM ~4 000.
+        "bzip2" => {
+            let mut p = base("bzip2", 0xb21f);
+            p.mix.load = 0.26;
+            p.mean_dep_dist = 4.2;
+            p.branch_predictability = 0.91;
+            p.block_len = 7;
+            p.call_block_frac = 0.12;
+            p.mem.cold_load_prob = 1.0 / 1_040.0;
+            p.mem.warm_load_prob = 0.15;
+            p
+        }
+        // mgrid: FP multigrid — long vectorizable loops, high ILP,
+        // streaming grids. IPM ~1 200.
+        "mgrid" => {
+            let mut p = base("mgrid", 0x369d);
+            p.mix = InstrMix {
+                load: 0.30,
+                store: 0.08,
+                mul: 0.12,
+                div: 0.002,
+            };
+            p.mean_dep_dist = 8.0;
+            p.branch_predictability = 0.99;
+            p.block_len = 16;
+            p.code_lines = 96;
+            p.mem.cold_load_prob = 1.0 / 360.0;
+            p
+        }
+        // swim: shallow-water FP kernel — heavy streaming. IPM ~600.
+        "swim" => {
+            let mut p = base("swim", 0x5817);
+            p.mix = InstrMix {
+                load: 0.32,
+                store: 0.10,
+                mul: 0.10,
+                div: 0.0,
+            };
+            p.mean_dep_dist = 8.0;
+            p.branch_predictability = 0.99;
+            p.block_len = 16;
+            p.code_lines = 64;
+            p.mem.cold_load_prob = 1.0 / 288.0;
+            p.mem.cold_store_prob = 0.002;
+            p
+        }
+        // applu: FP PDE solver. IPM ~1 500.
+        "applu" => {
+            let mut p = base("applu", 0xa7b1);
+            p.mix = InstrMix {
+                load: 0.29,
+                store: 0.09,
+                mul: 0.11,
+                div: 0.002,
+            };
+            p.mean_dep_dist = 7.0;
+            p.branch_predictability = 0.98;
+            p.block_len = 12;
+            p.code_lines = 96;
+            p.mem.cold_load_prob = 1.0 / 430.0;
+            p
+        }
+        // lucas: FP number theory — FFT-ish strides. IPM ~1 000.
+        "lucas" => {
+            let mut p = base("lucas", 0x10ca5);
+            p.mix = InstrMix {
+                load: 0.28,
+                store: 0.08,
+                mul: 0.14,
+                div: 0.0,
+            };
+            p.mean_dep_dist = 7.0;
+            p.branch_predictability = 0.99;
+            p.block_len = 12;
+            p.mem.cold_load_prob = 1.0 / 280.0;
+            p
+        }
+        // galgel: FP fluid dynamics with an L2-resident working set —
+        // high ILP, rare misses. IPM ~10 000.
+        "galgel" => {
+            let mut p = base("galgel", 0x6a16e1);
+            p.mix = InstrMix {
+                load: 0.27,
+                store: 0.07,
+                mul: 0.12,
+                div: 0.001,
+            };
+            p.mean_dep_dist = 8.5;
+            p.branch_predictability = 0.98;
+            p.block_len = 14;
+            p.mem.cold_load_prob = 1.0 / 6_000.0;
+            p.mem.warm_load_prob = 0.12;
+            p.mem.cold_store_prob = 0.000_1;
+            p
+        }
+        // apsi: FP meteorology. IPM ~3 000.
+        "apsi" => {
+            let mut p = base("apsi", 0xa951);
+            p.mix = InstrMix {
+                load: 0.28,
+                store: 0.09,
+                mul: 0.10,
+                div: 0.003,
+            };
+            p.mean_dep_dist = 6.0;
+            p.branch_predictability = 0.97;
+            p.block_len = 10;
+            p.mem.cold_load_prob = 1.0 / 840.0;
+            p
+        }
+        // mcf: pointer-chasing network simplex — tiny ILP, constant
+        // misses. IPM ~250.
+        "mcf" => {
+            let mut p = base("mcf", 0x3cf);
+            p.mix = InstrMix {
+                load: 0.32,
+                store: 0.08,
+                mul: 0.0,
+                div: 0.0,
+            };
+            p.mean_dep_dist = 2.2;
+            p.branch_predictability = 0.88;
+            p.block_len = 5;
+            p.call_block_frac = 0.2;
+            p.code_lines = 80;
+            p.mem.cold_load_prob = 1.0 / 104.0;
+            p.mem.warm_load_prob = 0.15;
+            p
+        }
+        // art: neural-net image recognition — streaming with low ILP.
+        // IPM ~400.
+        "art" => {
+            let mut p = base("art", 0xa47);
+            p.mix = InstrMix {
+                load: 0.34,
+                store: 0.06,
+                mul: 0.08,
+                div: 0.0,
+            };
+            p.mean_dep_dist = 3.0;
+            p.branch_predictability = 0.93;
+            p.block_len = 8;
+            p.code_lines = 48;
+            p.mem.cold_load_prob = 1.0 / 170.0;
+            p
+        }
+        // vortex: object-oriented database — call-heavy integer code with
+        // an L2-resident object heap. IPM ~6 000.
+        "vortex" => {
+            let mut p = base("vortex", 0x407e);
+            p.mix = InstrMix {
+                load: 0.28,
+                store: 0.14,
+                mul: 0.0,
+                div: 0.0,
+            };
+            p.mean_dep_dist = 4.0;
+            p.branch_predictability = 0.94;
+            p.block_len = 6;
+            p.code_lines = 256;
+            p.call_block_frac = 0.35;
+            p.mem.cold_load_prob = 1.0 / 1_680.0;
+            p.mem.warm_load_prob = 0.12;
+            p.mem.cold_store_prob = 0.000_1;
+            p
+        }
+        // twolf: place-and-route — branchy integer code with moderate
+        // misses. IPM ~1 500.
+        "twolf" => {
+            let mut p = base("twolf", 0x2201f);
+            p.mix = InstrMix {
+                load: 0.27,
+                store: 0.08,
+                mul: 0.02,
+                div: 0.001,
+            };
+            p.mean_dep_dist = 3.2;
+            p.branch_predictability = 0.89;
+            p.block_len = 5;
+            p.code_lines = 192;
+            p.call_block_frac = 0.15;
+            p.mem.cold_load_prob = 1.0 / 405.0;
+            p
+        }
+        // equake: FP earthquake simulation — sparse-matrix streaming.
+        // IPM ~700.
+        "equake" => {
+            let mut p = base("equake", 0xe90a2e);
+            p.mix = InstrMix {
+                load: 0.31,
+                store: 0.08,
+                mul: 0.11,
+                div: 0.002,
+            };
+            p.mean_dep_dist = 5.5;
+            p.branch_predictability = 0.97;
+            p.block_len = 12;
+            p.code_lines = 80;
+            p.mem.cold_load_prob = 1.0 / 217.0;
+            p
+        }
+        // wupwise: FP quantum chromodynamics — dense kernels with an
+        // L2-friendly lattice. IPM ~2 500.
+        "wupwise" => {
+            let mut p = base("wupwise", 0x3b93);
+            p.mix = InstrMix {
+                load: 0.28,
+                store: 0.09,
+                mul: 0.14,
+                div: 0.001,
+            };
+            p.mean_dep_dist = 7.5;
+            p.branch_predictability = 0.99;
+            p.block_len = 14;
+            p.code_lines = 96;
+            p.mem.cold_load_prob = 1.0 / 700.0;
+            p
+        }
+        _ => return None,
+    };
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_resolve_and_validate() {
+        for name in NAMES {
+            let p = profile(name).unwrap_or_else(|| panic!("{name} missing"));
+            p.validate();
+            assert_eq!(p.name, name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(profile("quake").is_none());
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let mut seeds: Vec<u64> = NAMES.iter().map(|n| profile(n).unwrap().seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), NAMES.len());
+    }
+
+    #[test]
+    fn ipm_targets_span_two_orders_of_magnitude() {
+        let ipms: Vec<f64> = NAMES
+            .iter()
+            .map(|n| profile(n).unwrap().target_ipm())
+            .collect();
+        let min = ipms.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = ipms.iter().copied().fold(0.0f64, f64::max);
+        assert!(min < 500.0, "need a memory-bound profile, min {min}");
+        assert!(max > 10_000.0, "need a compute-bound profile, max {max}");
+        assert!(max / min > 30.0, "spread {}", max / min);
+    }
+
+    #[test]
+    fn missy_profiles_are_missier_than_compute_profiles() {
+        let ipm = |n: &str| profile(n).unwrap().target_ipm();
+        assert!(ipm("mcf") < ipm("gcc"));
+        assert!(ipm("swim") < ipm("apsi"));
+        assert!(ipm("gcc") < ipm("eon"));
+        assert!(ipm("art") < ipm("galgel"));
+    }
+
+    #[test]
+    fn gcc_is_phased() {
+        assert!(profile("gcc").unwrap().phase_cycle().is_some());
+    }
+}

@@ -1,0 +1,98 @@
+//! Extending the system: implement a custom switch policy against the
+//! simulator's `SwitchPolicy` trait and compare it with the paper's
+//! mechanism.
+//!
+//! The custom policy here is *round-robin with a retirement budget*: each
+//! thread may retire at most N instructions per turn — a plausible-sounding
+//! alternative that, like time slicing, equalizes the wrong quantity
+//! (instruction counts rather than slowdowns).
+//!
+//! ```sh
+//! cargo run --release --example custom_policy
+//! ```
+
+use soe_repro::core::runner::{run_pair, run_pair_with_policy, run_singles, RunConfig};
+use soe_repro::model::FairnessLevel;
+use soe_repro::sim::{Cycle, SwitchDecision, SwitchPolicy, ThreadId};
+use soe_repro::workloads::Pair;
+
+/// Switch after `budget` retired instructions (and on misses, as always).
+struct RetirementBudget {
+    budget: u64,
+    retired_this_turn: u64,
+    name: String,
+}
+
+impl RetirementBudget {
+    fn new(budget: u64) -> Self {
+        Self {
+            budget,
+            retired_this_turn: 0,
+            name: format!("retire-budget({budget})"),
+        }
+    }
+}
+
+impl SwitchPolicy for RetirementBudget {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn on_switch_in(&mut self, _tid: ThreadId, _now: Cycle) {
+        self.retired_this_turn = 0;
+    }
+    fn after_retire(&mut self, _tid: ThreadId, _now: Cycle) -> SwitchDecision {
+        self.retired_this_turn += 1;
+        if self.retired_this_turn >= self.budget {
+            SwitchDecision::Switch
+        } else {
+            SwitchDecision::Continue
+        }
+    }
+}
+
+fn main() {
+    let pair = Pair { a: "art", b: "eon" };
+    let cfg = RunConfig::quick();
+    let singles = run_singles(&pair, &cfg);
+    println!(
+        "pair {}: IPC_ST = {:.3} / {:.3}\n",
+        pair.label(),
+        singles[0].ipc_st,
+        singles[1].ipc_st
+    );
+
+    println!(
+        "{:<22} {:>10} {:>9} {:>12} {:>12}",
+        "policy", "IPC_SOE", "fairness", "speedup[a]", "speedup[b]"
+    );
+    let show = |r: &soe_repro::core::PairRun| {
+        println!(
+            "{:<22} {:>10.3} {:>9.3} {:>12.3} {:>12.3}",
+            r.policy, r.throughput, r.fairness, r.threads[0].speedup, r.threads[1].speedup
+        );
+    };
+
+    // The custom policy at several budgets...
+    for budget in [500, 2_000, 10_000] {
+        let r = run_pair_with_policy(
+            &pair,
+            Box::new(RetirementBudget::new(budget)),
+            &singles,
+            &cfg,
+            None,
+        );
+        show(&r);
+    }
+    // ...versus the paper's mechanism.
+    for f in [FairnessLevel::NONE, FairnessLevel::HALF] {
+        let r = run_pair(&pair, f, &singles, &cfg);
+        show(&r);
+    }
+
+    println!(
+        "\nEqual retirement budgets equalize instruction *counts*, so the missy thread\n\
+         (which needs more wall-clock per instruction) is still slowed far more than\n\
+         the compute thread. The mechanism instead equalizes *slowdowns*, because its\n\
+         quota is proportional to each thread's estimated stand-alone IPC (Eq 9)."
+    );
+}

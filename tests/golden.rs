@@ -1,0 +1,110 @@
+//! Golden regression tests: exact statistics pinned for fixed
+//! configurations. Any intentional change to the simulator, workload
+//! generator or mechanism must update these values consciously — they
+//! exist to catch *unintentional* behaviour drift.
+//!
+//! To refresh after a deliberate change, run with
+//! `GOLDEN_PRINT=1 cargo test -p soe-repro --test golden -- --nocapture`
+//! and paste the printed values.
+
+use soe_core::FairnessPolicy;
+use soe_model::FairnessLevel;
+use soe_sim::{Machine, MachineConfig, NeverSwitch, SwitchOnEvent};
+use soe_workloads::Pair;
+
+struct Golden {
+    name: &'static str,
+    cycles: u64,
+    retired: [u64; 2],
+    switches: u64,
+}
+
+fn check(g: &Golden, m: &Machine) {
+    let s = m.stats();
+    let got = Golden {
+        name: g.name,
+        cycles: s.cycles,
+        retired: [
+            s.threads[0].retired,
+            s.threads.get(1).map_or(0, |t| t.retired),
+        ],
+        switches: s.total_switches,
+    };
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!(
+            "Golden {{ name: \"{}\", cycles: {}, retired: [{}, {}], switches: {} }}",
+            got.name, got.cycles, got.retired[0], got.retired[1], got.switches
+        );
+        return;
+    }
+    assert_eq!(got.cycles, g.cycles, "{}: cycles drifted", g.name);
+    assert_eq!(got.retired, g.retired, "{}: retirement drifted", g.name);
+    assert_eq!(got.switches, g.switches, "{}: switches drifted", g.name);
+}
+
+#[test]
+fn golden_single_thread_gcc() {
+    let pair = Pair { a: "gcc", b: "gcc" };
+    let (trace, _) = pair.traces();
+    let mut m = Machine::new(
+        MachineConfig::default(),
+        vec![Box::new(trace)],
+        Box::new(NeverSwitch::new()),
+    );
+    m.run_cycles(200_000);
+    check(
+        &Golden {
+            name: "single-gcc",
+            cycles: 200_000,
+            retired: [63_223, 0],
+            switches: 0,
+        },
+        &m,
+    );
+}
+
+#[test]
+fn golden_soe_pair_swim_eon() {
+    let pair = Pair {
+        a: "swim",
+        b: "eon",
+    };
+    let mut m = Machine::new(
+        MachineConfig::default(),
+        pair.boxed_traces(),
+        Box::new(SwitchOnEvent::new()),
+    );
+    m.run_cycles(300_000);
+    check(
+        &Golden {
+            name: "soe-swim-eon",
+            cycles: 300_000,
+            retired: [51_149, 93_640],
+            switches: 5_609,
+        },
+        &m,
+    );
+}
+
+#[test]
+fn golden_fairness_pair_swim_eon() {
+    let pair = Pair {
+        a: "swim",
+        b: "eon",
+    };
+    let mut m = Machine::new(
+        MachineConfig::default(),
+        pair.boxed_traces(),
+        Box::new(FairnessPolicy::paper(2, FairnessLevel::HALF)),
+    );
+    m.run_cycles(600_000);
+    check(
+        &Golden {
+            name: "fairness-swim-eon",
+            cycles: 600_000,
+            retired: [106_158, 459_965],
+            switches: 7_535,
+        },
+        &m,
+    );
+}

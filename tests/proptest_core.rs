@@ -1,0 +1,135 @@
+//! Property-based tests of the fairness mechanism's components.
+
+use proptest::prelude::*;
+use soe_core::{quotas_from_estimates, DeficitCounter, Estimator, HwCounters};
+use soe_model::{CounterSample, FairnessLevel, ThreadEstimate};
+use soe_sim::SwitchReason;
+
+fn estimate_strategy() -> impl Strategy<Value = ThreadEstimate> {
+    (100.0f64..100_000.0, 0.3f64..4.0).prop_map(|(ipm, ipc_no_miss)| {
+        let cpm = ipm / ipc_no_miss;
+        ThreadEstimate {
+            ipm,
+            cpm,
+            ipc_st: ipm / (cpm + 300.0),
+        }
+    })
+}
+
+proptest! {
+    /// Eq 9 quotas from estimates: `None` or positive and below the IPM.
+    #[test]
+    fn runtime_quotas_are_sane(
+        estimates in prop::collection::vec(estimate_strategy(), 2..5),
+        f in 0.0f64..=1.0,
+    ) {
+        let quotas = quotas_from_estimates(&estimates, 300.0, FairnessLevel::new(f));
+        prop_assert_eq!(quotas.len(), estimates.len());
+        for (q, e) in quotas.iter().zip(&estimates) {
+            if let Some(q) = q {
+                prop_assert!(*q > 0.0);
+                prop_assert!(*q <= e.ipm + 1e-6);
+            }
+        }
+        if f == 0.0 {
+            prop_assert!(quotas.iter().all(|q| q.is_none()));
+        }
+    }
+
+    /// At F = 1, the quotas equalize estimated speedup proxies
+    /// (`quota / ipc_st` equal across constrained threads, and
+    /// unconstrained threads sit at the common level or below).
+    #[test]
+    fn perfect_fairness_quotas_equalize_speedups(
+        estimates in prop::collection::vec(estimate_strategy(), 2..5),
+    ) {
+        let quotas = quotas_from_estimates(&estimates, 300.0, FairnessLevel::PERFECT);
+        let proxies: Vec<f64> = quotas
+            .iter()
+            .zip(&estimates)
+            .map(|(q, e)| q.unwrap_or(e.ipm) / e.ipc_st)
+            .collect();
+        let lo = proxies.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = proxies.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!(hi / lo < 1.01, "speedup proxies spread: {proxies:?}");
+    }
+
+    /// Deficit counters: over any interleaving of miss-ended and
+    /// quota-ended rounds, total retirements never exceed total credit
+    /// (quota × rounds) plus the cap.
+    #[test]
+    fn deficit_never_overdraws(
+        quota in 2.0f64..500.0,
+        cap in 1.0f64..8.0,
+        rounds in prop::collection::vec(0u64..400, 1..60),
+    ) {
+        let mut d = DeficitCounter::new(cap);
+        d.set_quota(Some(quota));
+        let mut retired_total = 0u64;
+        for miss_after in &rounds {
+            d.on_switch_in();
+            for _ in 0..*miss_after {
+                retired_total += 1;
+                if d.on_retire() {
+                    break; // forced switch
+                }
+            }
+        }
+        let credit = quota * rounds.len() as f64 + quota * cap;
+        prop_assert!(
+            (retired_total as f64) <= credit + rounds.len() as f64,
+            "retired {retired_total} vs credit {credit}"
+        );
+    }
+
+    /// Hardware counters stay mutually consistent across arbitrary
+    /// schedules: cycles never exceed the wall-clock span, misses never
+    /// exceed switch-outs.
+    #[test]
+    fn hw_counters_are_consistent(
+        rounds in prop::collection::vec((1u64..1_000, 0u64..500, prop::bool::ANY), 1..50),
+    ) {
+        let mut c = HwCounters::new();
+        let mut now = 0u64;
+        let mut switch_outs = 0u64;
+        for (cycles, instrs, miss) in &rounds {
+            c.on_switch_in();
+            let start = now;
+            for k in 0..*instrs {
+                c.after_retire(start + k * cycles / (*instrs).max(1));
+            }
+            now = start + cycles;
+            c.on_switch_out(
+                now,
+                if *miss { SwitchReason::MissEvent } else { SwitchReason::Forced },
+            );
+            switch_outs += 1;
+        }
+        let s = c.sample();
+        prop_assert!(s.cycles <= now);
+        prop_assert!(s.misses <= switch_outs);
+        prop_assert_eq!(s.instrs, rounds.iter().map(|(_, i, _)| i).sum::<u64>());
+    }
+
+    /// The estimator's window differentiation: estimates reflect the
+    /// window deltas exactly, for any monotone counter stream.
+    #[test]
+    fn estimator_windows_are_exact(
+        deltas in prop::collection::vec((1u64..100_000, 1u64..100_000, 0u64..100), 1..20),
+    ) {
+        let mut e = Estimator::new(1, 1, 300.0, false);
+        let mut cum = CounterSample::default();
+        let mut now = 0u64;
+        for (instrs, cycles, misses) in &deltas {
+            cum.instrs += instrs;
+            cum.cycles += cycles;
+            cum.misses += misses;
+            now += 1_000;
+            e.recalc(now, &[cum], FairnessLevel::NONE);
+            let est = e.estimates()[0].expect("window had instructions");
+            let m = (*misses).max(1) as f64;
+            prop_assert!((est.ipm - *instrs as f64 / m).abs() < 1e-9);
+            prop_assert!((est.cpm - *cycles as f64 / m).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the analytical model's invariants.
+
+use proptest::prelude::*;
+use soe_model::timeshare::time_share;
+use soe_model::{fairness_of, ipsw_quotas, FairnessLevel, SoeModel, SystemParams, ThreadModel};
+
+fn thread_strategy() -> impl Strategy<Value = ThreadModel> {
+    (0.5f64..4.0, 100.0f64..100_000.0).prop_map(|(ipc, ipm)| ThreadModel::new(ipc, ipm))
+}
+
+fn model_strategy(max_threads: usize) -> impl Strategy<Value = SoeModel> {
+    (
+        prop::collection::vec(thread_strategy(), 2..=max_threads),
+        50.0f64..1_000.0,
+        0.0f64..100.0,
+    )
+        .prop_map(|(threads, miss_lat, switch_lat)| {
+            SoeModel::new(threads, SystemParams::new(miss_lat, switch_lat))
+        })
+}
+
+proptest! {
+    /// Eq 9 quotas never exceed the natural IPM and are positive.
+    #[test]
+    fn quotas_are_positive_and_capped(model in model_strategy(4), f in 0.01f64..=1.0) {
+        let q = ipsw_quotas(model.threads(), model.params(), FairnessLevel::new(f));
+        for (quota, t) in q.iter().zip(model.threads()) {
+            prop_assert!(*quota > 0.0);
+            prop_assert!(*quota <= t.ipm() + 1e-6);
+        }
+    }
+
+    /// The achieved fairness of the Eq 9 quotas meets the target for any
+    /// workload combination — the paper's footnote-3 algebraic claim.
+    #[test]
+    fn analysis_meets_fairness_target(model in model_strategy(5), f in 0.01f64..=1.0) {
+        let a = model.analyze(FairnessLevel::new(f));
+        prop_assert!(
+            a.fairness >= f - 1e-6,
+            "target {} achieved {}", f, a.fairness
+        );
+    }
+
+    /// Fairness is always in [0, 1]; throughput is the sum of per-thread
+    /// IPCs; every per-thread SOE IPC is positive and below its no-miss
+    /// IPC.
+    #[test]
+    fn analysis_invariants(model in model_strategy(5), f in 0.0f64..=1.0) {
+        let a = model.analyze(FairnessLevel::new(f));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&a.fairness));
+        let sum: f64 = a.per_thread.iter().map(|t| t.ipc_soe).sum();
+        prop_assert!((a.throughput - sum).abs() < 1e-9);
+        for (t, m) in a.per_thread.iter().zip(model.threads()) {
+            prop_assert!(t.ipc_soe > 0.0);
+            prop_assert!(t.ipc_soe <= m.ipc_no_miss() + 1e-9);
+        }
+        // Within the model's validity domain (misses resolved before the
+        // thread runs again), no thread can beat running alone.
+        if model.miss_resolution_holds(FairnessLevel::new(f)) {
+            for t in &a.per_thread {
+                prop_assert!(t.speedup <= 1.0 + 1e-9, "SOE cannot beat running alone");
+            }
+        }
+    }
+
+    /// Stricter targets can only tighten fairness, never loosen it
+    /// (monotonicity of the analytical mechanism).
+    #[test]
+    fn fairness_is_monotone_in_target(model in model_strategy(4), f in 0.05f64..=0.95) {
+        let lo = model.analyze(FairnessLevel::new(f));
+        let hi = model.analyze(FairnessLevel::new((f + 0.05).min(1.0)));
+        prop_assert!(hi.fairness >= lo.fairness - 1e-6);
+    }
+
+    /// fairness_of is scale-invariant and bounded.
+    #[test]
+    fn fairness_of_properties(
+        speedups in prop::collection::vec(0.01f64..10.0, 2..6),
+        scale in 0.1f64..10.0,
+    ) {
+        let f = fairness_of(&speedups);
+        prop_assert!((0.0..=1.0).contains(&f));
+        let scaled: Vec<f64> = speedups.iter().map(|s| s * scale).collect();
+        prop_assert!((fairness_of(&scaled) - f).abs() < 1e-9);
+    }
+
+    /// Time sharing with an enormous quota converges to event-only SOE.
+    #[test]
+    fn timeshare_limit_is_event_only_soe(model in model_strategy(4)) {
+        let ts = time_share(&model, 1e12);
+        let soe = model.analyze(FairnessLevel::NONE);
+        prop_assert!((ts.throughput - soe.throughput).abs() < 1e-6);
+    }
+
+    /// Under time sharing, per-round cycles never exceed the quota, and
+    /// within the miss-resolution validity domain no thread beats
+    /// running alone.
+    #[test]
+    fn timeshare_respects_quota(model in model_strategy(4), quota in 10.0f64..100_000.0) {
+        let ts = time_share(&model, quota);
+        let round: f64 = ts
+            .per_thread
+            .iter()
+            .map(|t| t.cycles_per_round + model.params().switch_lat)
+            .sum();
+        for t in &ts.per_thread {
+            prop_assert!(t.cycles_per_round <= quota + 1e-9);
+            let rest = round - t.cycles_per_round - model.params().switch_lat;
+            if rest >= model.params().miss_lat {
+                prop_assert!(t.speedup <= 1.0 + 1e-9);
+            }
+        }
+    }
+}

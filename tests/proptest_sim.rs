@@ -1,0 +1,113 @@
+//! Property-based tests of the simulator and workload generator: for any
+//! generated workload profile and machine, the machine makes progress,
+//! never wedges, and its counters stay mutually consistent.
+
+use proptest::prelude::*;
+use soe_sim::{Machine, MachineConfig, NeverSwitch, SwitchOnEvent, TraceSource};
+use soe_workloads::{InstrMix, MemoryBehavior, Profile, SyntheticTrace};
+
+fn profile_strategy() -> impl Strategy<Value = Profile> {
+    (
+        0u64..u64::MAX,
+        0.05f64..0.4, // load
+        0.0f64..0.2,  // store
+        1.0f64..10.0, // dep dist
+        0.5f64..1.0,  // predictability
+        5u64..24,     // block len (>= 5: calling blocks are possible)
+        8u64..512,    // code lines
+        0.0f64..0.02, // cold load prob
+        0.0f64..0.4,  // call block fraction
+    )
+        .prop_map(
+            |(seed, load, store, dep, pred, block, code, cold, calls)| Profile {
+                name: "prop".into(),
+                seed,
+                mix: InstrMix {
+                    load,
+                    store,
+                    mul: 0.02,
+                    div: 0.001,
+                },
+                mean_dep_dist: dep,
+                branch_predictability: pred,
+                block_len: block,
+                code_lines: code,
+                call_block_frac: calls,
+                mem: MemoryBehavior {
+                    hot_lines: 64,
+                    warm_lines: 512,
+                    cold_load_prob: cold,
+                    warm_load_prob: 0.05,
+                    cold_store_prob: cold / 4.0,
+                },
+                phases: Vec::new(),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any generated single-thread workload runs without wedging and
+    /// retires a plausible number of instructions.
+    #[test]
+    fn single_thread_always_progresses(profile in profile_strategy()) {
+        let trace = SyntheticTrace::new(profile, 0x10_0000_0000, 0);
+        let mut m = Machine::new(
+            MachineConfig::test_config(),
+            vec![Box::new(trace)],
+            Box::new(NeverSwitch::new()),
+        );
+        m.run_cycles(60_000);
+        let s = m.stats();
+        prop_assert!(s.total_retired() > 0, "no retirement at all");
+        let width = MachineConfig::test_config().pipeline.retire_width as u64;
+        prop_assert!(s.total_retired() <= s.cycles * width);
+    }
+
+    /// Any generated two-thread SOE workload keeps both counters
+    /// consistent: switches balance, and per-thread running cycles never
+    /// exceed wall-clock.
+    #[test]
+    fn soe_pair_counters_are_consistent(
+        pa in profile_strategy(),
+        pb in profile_strategy(),
+    ) {
+        let a = SyntheticTrace::new(pa, 0x10_0000_0000, 0);
+        let b = SyntheticTrace::new(pb, 0x20_0000_0000, 0);
+        let mut m = Machine::new(
+            MachineConfig::test_config(),
+            vec![Box::new(a), Box::new(b)],
+            Box::new(SwitchOnEvent::new()),
+        );
+        m.run_cycles(80_000);
+        let s = m.stats();
+        let per_thread: u64 = s.threads.iter().map(|t| t.switches()).sum();
+        prop_assert_eq!(per_thread, s.total_switches);
+        let running: u64 = s.threads.iter().map(|t| t.running_cycles).sum();
+        prop_assert!(running <= s.cycles, "running {} > wall {}", running, s.cycles);
+        for t in &s.threads {
+            // Both conditional branches and returns can mispredict.
+            prop_assert!(t.mispredicts <= t.branches + t.returns);
+            // Paired within a block; the run may end mid-block.
+            prop_assert!(t.calls.abs_diff(t.returns) <= 1, "calls/returns unpaired");
+        }
+        prop_assert!(s.measured_switches <= s.total_switches);
+    }
+
+    /// The trace generator's purity: re-reading any position yields the
+    /// same micro-op, and memory ops always carry addresses.
+    #[test]
+    fn generated_uops_are_pure_and_well_formed(
+        profile in profile_strategy(),
+        idx in 0u64..5_000_000,
+    ) {
+        let t = SyntheticTrace::new(profile, 0x10_0000_0000, 0);
+        let u1 = t.uop_at(idx);
+        let u2 = t.uop_at(idx);
+        prop_assert_eq!(u1, u2);
+        if u1.kind.is_mem() {
+            prop_assert!(u1.mem_addr.is_some());
+        }
+    }
+}
