@@ -5,12 +5,23 @@
 //! The paper fixes Δ = 250 000, quota = 50 000 and a ~25-cycle switch;
 //! this binary shows those are reasonable points, not magic ones.
 
-use soe_bench::{banner, run_config, sizing_from_args};
+use soe_bench::{banner, jobs_from_args, run_config, sizing_from_args};
+use soe_core::pool::{run_jobs, Job};
 use soe_core::runner::{run_pair_with_policy, run_singles, RunConfig};
 use soe_core::{FairnessConfig, FairnessPolicy};
 use soe_model::FairnessLevel;
 use soe_stats::{fnum, Align, Table};
 use soe_workloads::Pair;
+
+/// One ablation point: the machine/run configuration, the fairness
+/// configuration, and whether the single-thread references must be
+/// re-measured because the machine itself changed.
+#[derive(Clone, Copy)]
+struct Variant {
+    cfg: RunConfig,
+    fairness: FairnessConfig,
+    remeasure_singles: bool,
+}
 
 fn run_with(
     pair: &Pair,
@@ -34,6 +45,7 @@ fn main() {
         sizing,
     );
     let base_cfg = run_config(sizing);
+    let workers = jobs_from_args();
     let pair = Pair {
         a: "swim",
         b: "eon",
@@ -44,6 +56,147 @@ fn main() {
         target: FairnessLevel::HALF,
         ..base_cfg.fairness
     };
+    let baseline = Variant {
+        cfg: base_cfg,
+        fairness: base_fairness,
+        remeasure_singles: false,
+    };
+
+    // The full variant grid, built up front so every run can go through
+    // the pool as one independent job.
+    let mut variants: Vec<(String, Variant)> = vec![("baseline".into(), baseline)];
+
+    // Δ sensitivity (quota scaled to stay <= Δ/2).
+    for delta in [base_fairness.delta / 5, base_fairness.delta * 4] {
+        let fairness = FairnessConfig {
+            delta,
+            max_cycles_quota: (delta / 4).max(1),
+            ..base_fairness
+        };
+        variants.push((
+            format!("delta={delta}"),
+            Variant {
+                fairness,
+                ..baseline
+            },
+        ));
+    }
+
+    // Max-cycles quota sensitivity.
+    for quota in [base_fairness.max_cycles_quota / 5, base_fairness.delta / 2] {
+        let fairness = FairnessConfig {
+            max_cycles_quota: quota.max(1),
+            ..base_fairness
+        };
+        variants.push((
+            format!("cycle-quota={quota}"),
+            Variant {
+                fairness,
+                ..baseline
+            },
+        ));
+    }
+
+    // Deficit leftover cap.
+    for cap in [1.0, 8.0] {
+        let fairness = FairnessConfig {
+            deficit_cap: cap,
+            ..base_fairness
+        };
+        variants.push((
+            format!("deficit-cap={cap}x"),
+            Variant {
+                fairness,
+                ..baseline
+            },
+        ));
+    }
+
+    // Hardware drain latency (re-measures singles: the machine changed).
+    for drain in [2u64, 20] {
+        let mut cfg = base_cfg;
+        cfg.machine.soe.drain_latency = drain;
+        variants.push((
+            format!("drain={drain}cy"),
+            Variant {
+                cfg,
+                remeasure_singles: true,
+                ..baseline
+            },
+        ));
+    }
+
+    // Microarchitectural options: predictor organization and store-buffer
+    // drain rate (re-measuring singles since the machine changed).
+    for kind in [
+        soe_sim::config::PredictorKind::Bimodal,
+        soe_sim::config::PredictorKind::Tournament,
+    ] {
+        let mut cfg = base_cfg;
+        cfg.machine.predictor.kind = kind;
+        variants.push((
+            format!("predictor={kind:?}"),
+            Variant {
+                cfg,
+                remeasure_singles: true,
+                ..baseline
+            },
+        ));
+    }
+    {
+        let mut cfg = base_cfg;
+        cfg.machine.store_drain_interval = 2;
+        variants.push((
+            "store-drain=2cy".into(),
+            Variant {
+                cfg,
+                remeasure_singles: true,
+                ..baseline
+            },
+        ));
+    }
+
+    // Section 6 extensions: measured event latency, and switching on L1
+    // misses as an additional event class (paired with measured latency,
+    // since L1-event latencies are variable).
+    let measured = FairnessConfig {
+        miss_lat_mode: soe_core::MissLatencyMode::Measured,
+        ..base_fairness
+    };
+    variants.push((
+        "measured-miss-lat".into(),
+        Variant {
+            fairness: measured,
+            ..baseline
+        },
+    ));
+    {
+        let mut cfg = base_cfg;
+        cfg.machine.soe.switch_on_l1_miss = true;
+        variants.push((
+            "switch-on-L1+measured".into(),
+            Variant {
+                cfg,
+                fairness: measured,
+                remeasure_singles: true,
+            },
+        ));
+    }
+
+    let jobs: Vec<Job<Variant>> = variants
+        .iter()
+        .map(|(label, v)| Job::new(label.clone(), *v))
+        .collect();
+    let pair_ref = &pair;
+    let singles_ref = &singles;
+    let runs = run_jobs(jobs, workers, move |v| {
+        if v.remeasure_singles {
+            let singles = run_singles(pair_ref, &v.cfg);
+            run_with(pair_ref, &singles, &v.cfg, v.fairness)
+        } else {
+            run_with(pair_ref, singles_ref, &v.cfg, v.fairness)
+        }
+    });
 
     let mut t = Table::new(vec![
         "variant".into(),
@@ -55,100 +208,14 @@ fn main() {
     for c in 1..5 {
         t.align(c, Align::Right);
     }
-    let mut add = |label: String, r: &soe_core::PairRun| {
+    for ((label, _), r) in variants.iter().zip(&runs) {
         t.row(vec![
-            label,
+            label.clone(),
             fnum(r.throughput, 3),
             fnum(r.fairness, 3),
             r.forced_switches.to_string(),
             fnum(r.avg_switch_latency, 1),
         ]);
-    };
-
-    // Baseline.
-    let r = run_with(&pair, &singles, &base_cfg, base_fairness);
-    add("baseline".into(), &r);
-
-    // Δ sensitivity (quota scaled to stay <= Δ/2).
-    for delta in [base_fairness.delta / 5, base_fairness.delta * 4] {
-        let f = FairnessConfig {
-            delta,
-            max_cycles_quota: (delta / 4).max(1),
-            ..base_fairness
-        };
-        let r = run_with(&pair, &singles, &base_cfg, f);
-        add(format!("delta={delta}"), &r);
-    }
-
-    // Max-cycles quota sensitivity.
-    for quota in [base_fairness.max_cycles_quota / 5, base_fairness.delta / 2] {
-        let f = FairnessConfig {
-            max_cycles_quota: quota.max(1),
-            ..base_fairness
-        };
-        let r = run_with(&pair, &singles, &base_cfg, f);
-        add(format!("cycle-quota={quota}"), &r);
-    }
-
-    // Deficit leftover cap.
-    for cap in [1.0, 8.0] {
-        let f = FairnessConfig {
-            deficit_cap: cap,
-            ..base_fairness
-        };
-        let r = run_with(&pair, &singles, &base_cfg, f);
-        add(format!("deficit-cap={cap}x"), &r);
-    }
-
-    // Hardware drain latency (re-measures singles: the machine changed).
-    for drain in [2u64, 20] {
-        let mut cfg = base_cfg;
-        cfg.machine.soe.drain_latency = drain;
-        let singles_d = run_singles(&pair, &cfg);
-        let r = run_with(&pair, &singles_d, &cfg, base_fairness);
-        add(format!("drain={drain}cy"), &r);
-    }
-
-    // Microarchitectural options: predictor organization and store-buffer
-    // drain rate (re-measuring singles since the machine changed).
-    for kind in [
-        soe_sim::config::PredictorKind::Bimodal,
-        soe_sim::config::PredictorKind::Tournament,
-    ] {
-        let mut cfg = base_cfg;
-        cfg.machine.predictor.kind = kind;
-        let singles_k = run_singles(&pair, &cfg);
-        let r = run_with(&pair, &singles_k, &cfg, base_fairness);
-        add(format!("predictor={kind:?}"), &r);
-    }
-    {
-        let mut cfg = base_cfg;
-        cfg.machine.store_drain_interval = 2;
-        let singles_s = run_singles(&pair, &cfg);
-        let r = run_with(&pair, &singles_s, &cfg, base_fairness);
-        add("store-drain=2cy".into(), &r);
-    }
-
-    // Section 6 extensions: measured event latency, and switching on L1
-    // misses as an additional event class (paired with measured latency,
-    // since L1-event latencies are variable).
-    let f = FairnessConfig {
-        miss_lat_mode: soe_core::MissLatencyMode::Measured,
-        ..base_fairness
-    };
-    let r = run_with(&pair, &singles, &base_cfg, f);
-    add("measured-miss-lat".into(), &r);
-
-    {
-        let mut cfg = base_cfg;
-        cfg.machine.soe.switch_on_l1_miss = true;
-        let singles_l1 = run_singles(&pair, &cfg);
-        let f = FairnessConfig {
-            miss_lat_mode: soe_core::MissLatencyMode::Measured,
-            ..base_fairness
-        };
-        let r = run_with(&pair, &singles_l1, &cfg, f);
-        add("switch-on-L1+measured".into(), &r);
     }
 
     println!("{t}");

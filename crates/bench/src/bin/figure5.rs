@@ -3,14 +3,26 @@
 //! enforcement (middle), and achieved fairness over time (bottom),
 //! with fairness enforced to F = 1/4.
 
-use soe_bench::{banner, run_config, save_svg, sizing_from_args};
+use soe_bench::{banner, jobs_from_args, run_config, save_svg, sizing_from_args};
+use soe_core::pool::{run_jobs, Job};
 use soe_core::runner::run_singles;
 use soe_core::timeseries::{estimated_ipc_st_series, fairness_series, speedup_series};
-use soe_core::{FairnessConfig, FairnessPolicy, WindowRecord};
+use soe_core::{FairnessConfig, FairnessPolicy, SingleRun, WindowRecord};
 use soe_model::FairnessLevel;
 use soe_sim::Machine;
 use soe_stats::chart::line_chart;
 use soe_workloads::Pair;
+
+/// The three independent measurements behind the figure.
+enum Task {
+    Singles,
+    Records(FairnessLevel),
+}
+
+enum Measured {
+    Singles([SingleRun; 2]),
+    Records(Vec<WindowRecord>),
+}
 
 fn run_with_records(
     pair: &Pair,
@@ -57,15 +69,39 @@ fn main() {
     let cfg = run_config(sizing);
     let pair = Pair { a: "gcc", b: "eon" };
 
-    let singles = run_singles(&pair, &cfg);
+    // The references and the two recorded runs are independent; pool
+    // them. Order is preserved, so destructuring below is safe.
+    let jobs = vec![
+        Job::new("singles gcc,eon".to_string(), Task::Singles),
+        Job::new(
+            "records @ F=0".to_string(),
+            Task::Records(FairnessLevel::NONE),
+        ),
+        Job::new(
+            "records @ F=1/4".to_string(),
+            Task::Records(FairnessLevel::QUARTER),
+        ),
+    ];
+    let pair_ref = &pair;
+    let mut out = run_jobs(jobs, jobs_from_args(), move |task| match task {
+        Task::Singles => Measured::Singles(run_singles(pair_ref, &cfg)),
+        Task::Records(f) => Measured::Records(run_with_records(pair_ref, *f, &cfg)),
+    })
+    .into_iter();
+    let (
+        Some(Measured::Singles(singles)),
+        Some(Measured::Records(recs_f0)),
+        Some(Measured::Records(recs_fq)),
+    ) = (out.next(), out.next(), out.next())
+    else {
+        unreachable!("pool preserves submission order");
+    };
+
     let ipc_st_real = [singles[0].ipc_st, singles[1].ipc_st];
     println!(
         "real IPC_ST: gcc = {:.3}, eon = {:.3}\n",
         ipc_st_real[0], ipc_st_real[1]
     );
-
-    let recs_f0 = run_with_records(&pair, FairnessLevel::NONE, &cfg);
-    let recs_fq = run_with_records(&pair, FairnessLevel::QUARTER, &cfg);
 
     println!("--- top panel: estimated IPC_ST while running in SOE (F = 1/4) ---");
     for ts in estimated_ipc_st_series(&recs_fq, &["gcc", "eon"]) {

@@ -1,7 +1,7 @@
 //! Figure 7 — throughput degradation caused by fairness enforcement
 //! (normalized to F = 0) and forced thread switches per 1 000 cycles.
 
-use soe_bench::{banner, experiments::full_results, save_svg, sizing_from_args};
+use soe_bench::{banner, experiments::full_results, jobs_from_args, save_svg, sizing_from_args};
 use soe_stats::{fnum, pearson, Align, Summary, Table};
 
 fn main() {
@@ -11,7 +11,7 @@ fn main() {
         sizing,
     );
     let force = std::env::args().any(|a| a == "--force");
-    let results = full_results(sizing, force);
+    let results = full_results(sizing, force, jobs_from_args());
 
     let mut t = Table::new(vec![
         "pair".into(),

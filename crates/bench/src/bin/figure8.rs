@@ -2,7 +2,7 @@
 //! values ordered by the F = 0 fairness (left), and the truncated
 //! averages `min(F, achieved)` with standard deviations (right).
 
-use soe_bench::{banner, experiments::full_results, save_svg, sizing_from_args};
+use soe_bench::{banner, experiments::full_results, jobs_from_args, save_svg, sizing_from_args};
 use soe_model::FairnessLevel;
 use soe_stats::{fnum, Align, Summary, Table};
 
@@ -13,7 +13,7 @@ fn main() {
         sizing,
     );
     let force = std::env::args().any(|a| a == "--force");
-    let results = full_results(sizing, force);
+    let results = full_results(sizing, force, jobs_from_args());
 
     // Order runs by their achieved fairness without enforcement, as the
     // paper does.

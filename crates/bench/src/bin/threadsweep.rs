@@ -7,7 +7,8 @@
 //! additional threads stop helping and only add switch overhead and cache
 //! pressure.
 
-use soe_bench::{banner, run_config, sizing_from_args};
+use soe_bench::{banner, jobs_from_args, run_config, sizing_from_args};
+use soe_core::pool::{run_jobs, Job};
 use soe_core::runner::{run_multi, run_single};
 use soe_model::FairnessLevel;
 use soe_stats::{fnum, Align, Table};
@@ -20,18 +21,49 @@ fn main() {
         sizing,
     );
     let cfg = run_config(sizing);
+    let workers = jobs_from_args();
 
     // Memory-bound, small-footprint threads: the workloads SOE exists
     // for (each spends most of its solo time stalled on memory).
     let roster = ["swim", "art", "lucas", "mcf", "applu", "mgrid"];
 
-    // Single-thread references, measured once each.
-    let mut singles = Vec::new();
-    for (i, name) in roster.iter().enumerate() {
-        let profile = spec::profile(name).expect("known benchmark");
-        let trace = SyntheticTrace::new(profile, (i as u64 + 1) * 0x10_0000_0000, 0);
-        singles.push(run_single(Box::new(trace), &cfg));
-    }
+    // Single-thread references, measured once each. Seeds are a pure
+    // function of the roster position, so pooling cannot change them.
+    let single_jobs: Vec<Job<usize>> = roster
+        .iter()
+        .enumerate()
+        .map(|(i, name)| Job::new(format!("single {name}"), i))
+        .collect();
+    let singles = run_jobs(single_jobs, workers, |i| {
+        let profile = spec::profile(roster[*i]).expect("known benchmark");
+        let trace = SyntheticTrace::new(profile, (*i as u64 + 1) * 0x10_0000_0000, 0);
+        run_single(Box::new(trace), &cfg)
+    });
+
+    // Sweep: every (thread count, fairness level) is independent once
+    // the references exist, so the whole grid goes into one job list.
+    let levels = [FairnessLevel::NONE, FairnessLevel::HALF];
+    let sweep_jobs: Vec<Job<(usize, FairnessLevel)>> = (1..=roster.len())
+        .flat_map(|n| {
+            levels
+                .iter()
+                .map(move |f| Job::new(format!("{n} threads @ {}", f.label()), (n, *f)))
+        })
+        .collect();
+    let singles_ref = &singles;
+    let runs = run_jobs(sweep_jobs, workers, move |(n, f)| {
+        let n = *n;
+        // The max-cycles quota must leave room for every thread within
+        // each Δ window; scale it down as the thread count grows.
+        let mut cfg_n = cfg;
+        cfg_n.fairness.max_cycles_quota = cfg
+            .fairness
+            .max_cycles_quota
+            .min(cfg.fairness.delta / (n as u64 + 1));
+        // Every thread needs its share of warm-up.
+        cfg_n.warmup_cycles = cfg.warmup_cycles * n as u64;
+        run_multi(&roster[..n], *f, &singles_ref[..n], &cfg_n)
+    });
 
     let mut t = Table::new(vec![
         "threads".into(),
@@ -45,23 +77,11 @@ fn main() {
     for c in 2..7 {
         t.align(c, Align::Right);
     }
-    for n in 1..=roster.len() {
-        let names = &roster[..n];
-        let refs = &singles[..n];
-        // The max-cycles quota must leave room for every thread within
-        // each Δ window; scale it down as the thread count grows.
-        let mut cfg_n = cfg;
-        cfg_n.fairness.max_cycles_quota = cfg
-            .fairness
-            .max_cycles_quota
-            .min(cfg.fairness.delta / (n as u64 + 1));
-        // Every thread needs its share of warm-up.
-        cfg_n.warmup_cycles = cfg.warmup_cycles * n as u64;
-        let f0 = run_multi(names, FairnessLevel::NONE, refs, &cfg_n);
-        let fh = run_multi(names, FairnessLevel::HALF, refs, &cfg_n);
+    for (n, pair) in (1..=roster.len()).zip(runs.chunks(levels.len())) {
+        let (f0, fh) = (&pair[0], &pair[1]);
         t.row(vec![
             n.to_string(),
-            names.join(":"),
+            roster[..n].join(":"),
             fnum(f0.throughput, 3),
             format!("{:+.1}%", (f0.soe_speedup - 1.0) * 100.0),
             fnum(f0.fairness, 3),

@@ -2,12 +2,22 @@
 //! (16 pairs × {F = 0, 1/4, 1/2, 1}, plus the 12 single-thread
 //! references) once, and caches the results as JSON so every figure
 //! binary can reuse them.
+//!
+//! The ~76 runs of the matrix are independent, so they are dispatched
+//! through the [`soe_core::pool`] engine: single-thread references
+//! first (the pair runs need their `IPC_ST` denominators), then every
+//! pair × fairness-level combination. Each job derives its traces (and
+//! therefore all pseudo-randomness) from its own pair definition alone
+//! — nothing depends on scheduling — so any worker count produces a
+//! `ResultSet` bit-identical to the serial path, which
+//! `tests/determinism.rs` asserts.
 
 use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
+use soe_core::pool::{run_jobs, Job};
 use soe_core::runner::{run_pair, run_single, RunConfig};
 use soe_core::{PairRun, SingleRun};
 use soe_model::FairnessLevel;
@@ -58,14 +68,15 @@ fn cache_path(sizing: Sizing) -> PathBuf {
     PathBuf::from(dir).join(name)
 }
 
-/// Loads the cached result set for `sizing`, or runs the full matrix and
-/// caches it. Pass `force` to ignore an existing cache.
+/// Loads the cached result set for `sizing`, or runs the full matrix on
+/// `workers` threads and caches it. Pass `force` to ignore an existing
+/// cache.
 ///
 /// # Panics
 ///
 /// Panics if the cache file exists but cannot be parsed (delete it), or
 /// the cache directory cannot be written.
-pub fn full_results(sizing: Sizing, force: bool) -> ResultSet {
+pub fn full_results(sizing: Sizing, force: bool, workers: usize) -> ResultSet {
     let path = cache_path(sizing);
     if !force {
         if let Ok(json) = fs::read_to_string(&path) {
@@ -84,7 +95,7 @@ pub fn full_results(sizing: Sizing, force: bool) -> ResultSet {
             }
         }
     }
-    let set = run_matrix(&crate::run_config(sizing));
+    let set = run_matrix(&crate::run_config(sizing), workers);
     if let Some(dir) = path.parent() {
         fs::create_dir_all(dir).expect("create results directory");
     }
@@ -97,35 +108,78 @@ pub fn full_results(sizing: Sizing, force: bool) -> ResultSet {
     set
 }
 
-/// Runs the full matrix at `cfg` without caching.
-pub fn run_matrix(cfg: &RunConfig) -> ResultSet {
-    // Single-thread references are per benchmark, not per pair — measure
-    // each of the 12 once.
-    let mut singles: HashMap<String, SingleRun> = HashMap::new();
+/// Runs the full matrix at `cfg` on `workers` threads, without caching.
+///
+/// Bit-identical to running the matrix serially: every job builds its
+/// own traces from explicit seeds (benchmark profile seed, per-thread
+/// address-space base, same-benchmark stream offset), so the schedule
+/// cannot leak into the results, and the pool reassembles them in
+/// submission order.
+pub fn run_matrix(cfg: &RunConfig, workers: usize) -> ResultSet {
     let pairs = paper_pairs();
+
+    // Phase 1 — single-thread references, one per distinct benchmark
+    // (the paper's 12), in first-appearance order.
+    let mut names: Vec<&'static str> = Vec::new();
     for pair in &pairs {
         for name in [pair.a, pair.b] {
-            if !singles.contains_key(name) {
-                eprintln!("[experiments] single-thread reference: {name}");
-                let profile = soe_workloads::spec::profile(name).expect("known benchmark");
-                let trace = soe_workloads::SyntheticTrace::new(profile, 0x10_0000_0000, 0);
-                singles.insert(name.to_string(), run_single(Box::new(trace), cfg));
+            if !names.contains(&name) {
+                names.push(name);
             }
         }
     }
-    let mut out = Vec::new();
-    for pair in &pairs {
-        eprintln!("[experiments] pair {}", pair.label());
-        let pair_singles = [singles[pair.a].clone(), singles[pair.b].clone()];
-        let runs = FairnessLevel::paper_levels()
-            .iter()
-            .map(|f| run_pair(pair, *f, &pair_singles, cfg))
-            .collect();
-        out.push(PairResults {
+    eprintln!(
+        "[experiments] {} single-thread references on {workers} worker(s)",
+        names.len()
+    );
+    let single_jobs: Vec<Job<&'static str>> = names
+        .iter()
+        .map(|name| Job::new(format!("single {name}"), *name))
+        .collect();
+    let single_runs = run_jobs(single_jobs, workers, |name| {
+        let profile = soe_workloads::spec::profile(name).expect("known benchmark");
+        let trace = soe_workloads::SyntheticTrace::new(profile, 0x10_0000_0000, 0);
+        run_single(Box::new(trace), cfg)
+    });
+    let singles: HashMap<&'static str, SingleRun> =
+        names.iter().copied().zip(single_runs).collect();
+
+    // Phase 2 — every pair × fairness level, flattened into one job
+    // list so workers stay busy across pair boundaries.
+    let levels = FairnessLevel::paper_levels();
+    eprintln!(
+        "[experiments] {} pair runs ({} pairs x {} levels) on {workers} worker(s)",
+        pairs.len() * levels.len(),
+        pairs.len(),
+        levels.len()
+    );
+    let pair_jobs: Vec<Job<(usize, FairnessLevel)>> = pairs
+        .iter()
+        .enumerate()
+        .flat_map(|(index, pair)| {
+            levels
+                .iter()
+                .map(move |f| Job::new(format!("{} @ {}", pair.label(), f.label()), (index, *f)))
+        })
+        .collect();
+    let pairs_ref = &pairs;
+    let singles_ref = &singles;
+    let flat_runs = run_jobs(pair_jobs, workers, move |(index, f)| {
+        let pair = &pairs_ref[*index];
+        let pair_singles = [singles_ref[pair.a].clone(), singles_ref[pair.b].clone()];
+        run_pair(pair, *f, &pair_singles, cfg)
+    });
+
+    // Reassemble in pair order: the pool preserved submission order, so
+    // the flat list chunks exactly by level count.
+    let out = pairs
+        .iter()
+        .zip(flat_runs.chunks(levels.len()))
+        .map(|(pair, runs)| PairResults {
             label: pair.label(),
-            singles: pair_singles.to_vec(),
-            runs,
-        });
-    }
+            singles: vec![singles[pair.a].clone(), singles[pair.b].clone()],
+            runs: runs.to_vec(),
+        })
+        .collect();
     ResultSet { pairs: out }
 }

@@ -4,7 +4,8 @@
 //! paper; this library provides the common experiment sizing and output
 //! conventions. Pass `--quick` to any binary for a scaled-down run
 //! (useful for smoke-testing; the full runs are what `EXPERIMENTS.md`
-//! records).
+//! records), and `--jobs N` (or `SOE_JOBS=N`) to bound the worker
+//! threads used for independent simulation runs.
 
 pub mod experiments;
 
@@ -26,6 +27,36 @@ pub fn sizing_from_args() -> Sizing {
     } else {
         Sizing::Full
     }
+}
+
+/// Resolves the worker-thread count for this invocation: `--jobs N`
+/// (or `--jobs=N`) beats the `SOE_JOBS` environment variable beats the
+/// machine's available parallelism. Results are bit-identical at any
+/// value; only wall-clock time changes.
+///
+/// # Panics
+///
+/// Panics on a malformed or zero `--jobs` value — a typo silently
+/// falling back to a default would be worse.
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args();
+    let mut explicit = None;
+    while let Some(arg) = args.next() {
+        let value = if arg == "--jobs" {
+            args.next()
+                .unwrap_or_else(|| panic!("--jobs requires a value"))
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            v.to_string()
+        } else {
+            continue;
+        };
+        let n: usize = value
+            .parse()
+            .unwrap_or_else(|_| panic!("--jobs expects a positive integer, got {value:?}"));
+        assert!(n > 0, "--jobs expects a positive integer, got 0");
+        explicit = Some(n);
+    }
+    soe_core::pool::resolve_workers(explicit)
 }
 
 /// The run configuration for a sizing.

@@ -49,6 +49,7 @@ mod deficit;
 mod estimator;
 mod metrics;
 mod policy;
+pub mod pool;
 pub mod runner;
 pub mod timeseries;
 
@@ -59,3 +60,4 @@ pub use estimator::{
 };
 pub use metrics::{PairRun, SingleRun, ThreadOutcome};
 pub use policy::{FairnessConfig, FairnessPolicy, MissLatencyMode, TimeSlicePolicy};
+pub use pool::{resolve_workers, run_jobs, try_run_jobs, Job, JobError, PoolOptions};

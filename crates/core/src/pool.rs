@@ -1,0 +1,426 @@
+//! A std-only parallel job execution engine for the experiment matrix.
+//!
+//! The paper's evaluation is ~76 independent cycle-level runs (16 pairs
+//! × 4 fairness levels plus 12 single-thread references); they share no
+//! state, so they should be dispatched across cores rather than
+//! iterated. The build environment is offline, so this is plain
+//! [`std::thread::scope`] over a shared self-scheduling queue (an atomic
+//! cursor over the job list — idle workers grab the next index, which
+//! load-balances like work stealing without per-worker deques), not a
+//! rayon dependency.
+//!
+//! Guarantees:
+//!
+//! * **Order preservation** — results come back in job-submission order
+//!   regardless of completion order, so a parallel experiment matrix is
+//!   assembled identically to the serial one.
+//! * **Determinism** — the engine adds no randomness of its own; a job
+//!   must derive everything (trace seeds included) from its own payload,
+//!   and then any worker count produces bit-identical results (asserted
+//!   by `tests/determinism.rs`).
+//! * **Panic capture** — a panicking job reports its label (pair and
+//!   fairness level, say) and the panic message; the rest of the matrix
+//!   still completes. [`run_jobs`] re-panics with every failed label
+//!   *after* draining the queue, [`try_run_jobs`] returns per-job
+//!   `Result`s.
+//! * **Observability** — an optional progress reporter prints
+//!   jobs-completed / total with an ETA from a running mean of job
+//!   durations, from the collector thread.
+//!
+//! Worker-count resolution (CLI flag, then `SOE_JOBS`, then the host's
+//! available parallelism) lives in [`resolve_workers`] so every binary
+//! plumbs the same precedence.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// One unit of work: an opaque payload plus a human-readable label used
+/// in progress output and panic reports (e.g. `"swim:eon @ F=1/2"`).
+#[derive(Debug, Clone)]
+pub struct Job<P> {
+    /// Shown in progress lines and panic reports.
+    pub label: String,
+    /// Everything the job function needs. Determinism across worker
+    /// counts requires the payload to carry (or imply) its own RNG
+    /// seeds — nothing may depend on execution order.
+    pub payload: P,
+}
+
+impl<P> Job<P> {
+    /// Creates a labelled job.
+    pub fn new(label: impl Into<String>, payload: P) -> Self {
+        Self {
+            label: label.into(),
+            payload,
+        }
+    }
+}
+
+/// A captured job panic.
+#[derive(Debug, Clone)]
+pub struct JobError {
+    /// Submission index of the failed job.
+    pub index: usize,
+    /// The failed job's label.
+    pub label: String,
+    /// The panic payload, if it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job #{} `{}` panicked: {}",
+            self.index, self.label, self.message
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolOptions {
+    /// Worker threads to use; `1` degrades to a plain serial loop on the
+    /// calling thread (no threads spawned).
+    pub workers: usize,
+    /// Print per-completion progress lines (with an ETA) to stderr.
+    pub progress: bool,
+}
+
+impl PoolOptions {
+    /// `workers` workers, progress reporting on.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            progress: true,
+        }
+    }
+
+    /// `workers` workers, no progress output (tests, library callers).
+    pub fn quiet(workers: usize) -> Self {
+        Self {
+            workers,
+            progress: false,
+        }
+    }
+}
+
+/// Resolves the worker count from (in precedence order) an explicit
+/// request (`--jobs N`), the `SOE_JOBS` environment variable, and the
+/// host's available parallelism.
+pub fn resolve_workers(explicit: Option<usize>) -> usize {
+    explicit
+        .filter(|n| *n > 0)
+        .or_else(|| {
+            std::env::var("SOE_JOBS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|n| *n > 0)
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `jobs` on `workers` threads and returns results in submission
+/// order, printing progress to stderr.
+///
+/// # Panics
+///
+/// If any job panicked: the queue is drained first, then this panics
+/// with every failed job's label and message (so one bad run in a long
+/// matrix reports itself without discarding the rest of the evening's
+/// compute — and without silently producing a partial result set).
+pub fn run_jobs<P, R, F>(jobs: Vec<Job<P>>, workers: usize, f: F) -> Vec<R>
+where
+    P: Send + Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let results = try_run_jobs(jobs, PoolOptions::new(workers), f);
+    let failures: Vec<String> = results
+        .iter()
+        .filter_map(|r| r.as_err().map(ToString::to_string))
+        .collect();
+    if !failures.is_empty() {
+        panic!(
+            "{} job(s) failed:\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        );
+    }
+    results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(_) => unreachable!("failures checked above"),
+        })
+        .collect()
+}
+
+/// Extension for readable failure collection on `Result` slices.
+trait AsErr {
+    fn as_err(&self) -> Option<&JobError>;
+}
+
+impl<R> AsErr for Result<R, JobError> {
+    fn as_err(&self) -> Option<&JobError> {
+        self.as_ref().err()
+    }
+}
+
+/// Runs `jobs` under `opts`, capturing per-job panics instead of
+/// unwinding. Results are in submission order.
+pub fn try_run_jobs<P, R, F>(jobs: Vec<Job<P>>, opts: PoolOptions, f: F) -> Vec<Result<R, JobError>>
+where
+    P: Send + Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let total = jobs.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = opts.workers.clamp(1, total);
+    if workers == 1 {
+        return run_serial(jobs, opts.progress, &f);
+    }
+
+    let mut results: Vec<Option<Result<R, JobError>>> = Vec::with_capacity(total);
+    results.resize_with(total, || None);
+    let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    let jobs = &jobs;
+    let f = &f;
+    let (tx, rx) = mpsc::channel::<(usize, Duration, Result<R, String>)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(index) else { break };
+                let start = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(&job.payload)))
+                    .map_err(|payload| panic_message(&*payload));
+                if tx.send((index, start.elapsed(), outcome)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // Collector: the scope's own thread. Receives exactly one
+        // message per job, preserves submission order via the index.
+        let mut progress = Progress::new(total, opts.progress);
+        for (index, took, outcome) in rx {
+            progress.completed(&jobs[index].label, took);
+            results[index] = Some(outcome.map_err(|message| JobError {
+                index,
+                label: jobs[index].label.clone(),
+                message,
+            }));
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every job sends exactly one result"))
+        .collect()
+}
+
+/// The `workers == 1` degenerate case: run in submission order on the
+/// calling thread, still with panic capture and progress.
+fn run_serial<P, R>(
+    jobs: Vec<Job<P>>,
+    progress: bool,
+    f: &(impl Fn(&P) -> R + Sync),
+) -> Vec<Result<R, JobError>> {
+    let mut reporter = Progress::new(jobs.len(), progress);
+    jobs.iter()
+        .enumerate()
+        .map(|(index, job)| {
+            let start = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| f(&job.payload)));
+            reporter.completed(&job.label, start.elapsed());
+            outcome.map_err(|payload| JobError {
+                index,
+                label: job.label.clone(),
+                message: panic_message(&*payload),
+            })
+        })
+        .collect()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Progress accounting: jobs completed / total plus an ETA from the
+/// running mean of job durations.
+struct Progress {
+    total: usize,
+    done: usize,
+    spent: Duration,
+    started: Instant,
+    enabled: bool,
+}
+
+impl Progress {
+    fn new(total: usize, enabled: bool) -> Self {
+        Self {
+            total,
+            done: 0,
+            spent: Duration::ZERO,
+            started: Instant::now(),
+            enabled,
+        }
+    }
+
+    fn completed(&mut self, label: &str, took: Duration) {
+        self.done += 1;
+        self.spent += took;
+        if !self.enabled {
+            return;
+        }
+        let mean = self.spent.as_secs_f64() / self.done as f64;
+        // Remaining work divided by the measured rate of this pool:
+        // wall-clock elapsed per completed job accounts for the worker
+        // count without asking how many threads are busy.
+        let wall_per_job = self.started.elapsed().as_secs_f64() / self.done as f64;
+        let remaining = (self.total - self.done) as f64 * wall_per_job;
+        eprintln!(
+            "[pool] {}/{} {label} done in {:.1}s (mean {:.1}s, ETA {:.0}s)",
+            self.done,
+            self.total,
+            took.as_secs_f64(),
+            mean,
+            remaining,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(workers: usize) -> PoolOptions {
+        PoolOptions::quiet(workers)
+    }
+
+    #[test]
+    fn empty_job_list_returns_empty() {
+        let out: Vec<u32> = run_jobs(Vec::<Job<u32>>::new(), 4, |p| *p);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_preserve_submission_order() {
+        let jobs: Vec<Job<u64>> = (0..64).map(|i| Job::new(format!("j{i}"), i)).collect();
+        // Make later jobs finish first to exercise out-of-order arrival.
+        let out = try_run_jobs(jobs, quiet(8), |i| {
+            std::thread::sleep(Duration::from_micros(200 * (64 - *i)));
+            *i * 3
+        });
+        let values: Vec<u64> = out.into_iter().map(Result::unwrap).collect();
+        assert_eq!(values, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let jobs: Vec<Job<u32>> = (0..3).map(|i| Job::new(format!("j{i}"), i)).collect();
+        let out = try_run_jobs(jobs, quiet(32), |i| i + 1);
+        let values: Vec<u32> = out.into_iter().map(Result::unwrap).collect();
+        assert_eq!(values, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn panicking_job_surfaces_its_label_and_spares_the_rest() {
+        let jobs: Vec<Job<u32>> = (0..8).map(|i| Job::new(format!("pair-{i}"), i)).collect();
+        let out = try_run_jobs(jobs, quiet(4), |i| {
+            assert!(*i != 5, "run {i} exploded");
+            *i
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.label, "pair-5");
+                assert_eq!(e.index, 5);
+                assert!(e.message.contains("run 5 exploded"), "{}", e.message);
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u32);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pair-5")]
+    fn run_jobs_repanics_with_the_label_after_draining() {
+        let jobs: Vec<Job<u32>> = (0..8).map(|i| Job::new(format!("pair-{i}"), i)).collect();
+        let _ = run_jobs(jobs, 2, |i| {
+            assert!(*i != 5, "boom");
+            *i
+        });
+    }
+
+    #[test]
+    fn single_worker_degrades_to_serial_on_calling_thread() {
+        let caller = std::thread::current().id();
+        let jobs: Vec<Job<u32>> = (0..4).map(|i| Job::new(format!("j{i}"), i)).collect();
+        let out = try_run_jobs(jobs, quiet(1), |i| (std::thread::current().id(), *i));
+        for r in out {
+            let (tid, _) = r.unwrap();
+            assert_eq!(tid, caller, "workers=1 must not spawn threads");
+        }
+    }
+
+    #[test]
+    fn resolve_workers_precedence() {
+        // Explicit beats everything.
+        assert_eq!(resolve_workers(Some(3)), 3);
+        // 0 is treated as unset.
+        let host = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        std::env::remove_var("SOE_JOBS");
+        assert_eq!(resolve_workers(Some(0)), host);
+        assert_eq!(resolve_workers(None), host);
+        // SOE_JOBS=1 degrades to serial.
+        std::env::set_var("SOE_JOBS", "1");
+        assert_eq!(resolve_workers(None), 1);
+        std::env::set_var("SOE_JOBS", "junk");
+        assert_eq!(resolve_workers(None), host);
+        std::env::remove_var("SOE_JOBS");
+    }
+
+    #[test]
+    fn identical_results_at_any_worker_count() {
+        let mk = || {
+            (0..40u64)
+                .map(|i| Job::new(format!("j{i}"), i))
+                .collect::<Vec<_>>()
+        };
+        let run = |w: usize| -> Vec<u64> {
+            try_run_jobs(mk(), quiet(w), |i| i.wrapping_mul(0x9e3779b97f4a7c15))
+                .into_iter()
+                .map(Result::unwrap)
+                .collect()
+        };
+        let serial = run(1);
+        for w in [2, 3, 8] {
+            assert_eq!(run(w), serial, "worker count {w} diverged");
+        }
+    }
+}

@@ -62,6 +62,27 @@ fn checkpoint_resume_matches_continuous_stream() {
 }
 
 #[test]
+fn parallel_matrix_is_bit_identical_to_serial() {
+    // The acceptance bar for the pool: the full quick-sizing experiment
+    // matrix, serialized to JSON, must be byte-for-byte identical
+    // whether run on 1, 2, or 3 workers. Every job derives its traces
+    // from explicit seeds, so scheduling must not be observable.
+    let cfg = soe_core::runner::RunConfig::quick();
+    let json_at = |workers: usize| {
+        serde_json::to_string(&soe_bench::experiments::run_matrix(&cfg, workers))
+            .expect("serialize result set")
+    };
+    let serial = json_at(1);
+    for workers in [2, 3] {
+        assert_eq!(
+            serial,
+            json_at(workers),
+            "ResultSet JSON diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn offset_pairs_decorrelate_same_benchmark_threads() {
     // The 1M-instruction offset must actually change the instruction
     // stream the second thread sees at any given position.

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a simple
+//! warm-up-then-measure timing loop instead of criterion's statistical
+//! machinery. Results are printed as ns/iter (plus derived element
+//! throughput when configured); there are no HTML reports, baselines,
+//! or outlier analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How long each benchmark measures for (after a short warm-up).
+const MEASURE: Duration = Duration::from_millis(200);
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// Work-per-iteration metadata, used to derive rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark name.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering as the parameter alone.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        Self {
+            param: param.to_string(),
+        }
+    }
+
+    /// An id rendering as `function/parameter`.
+    pub fn new(function: impl fmt::Display, param: impl fmt::Display) -> Self {
+        Self {
+            param: format!("{function}/{param}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.param)
+    }
+}
+
+/// Drives one benchmark's timing loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// True when invoked by `cargo test` (which passes `--test` to
+/// `harness = false` targets): run each benchmark body once as a smoke
+/// test instead of timing it.
+fn test_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
+impl Bencher {
+    /// Times `f`, first warming up briefly, then measuring for a fixed
+    /// wall-clock window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if test_mode() {
+            std::hint::black_box(f());
+            self.iters = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        let warm_until = Instant::now() + WARMUP;
+        while Instant::now() < warm_until {
+            std::hint::black_box(f());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE {
+                self.iters = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("{name}: no iterations");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(
+            ", {:.3} Melem/s",
+            n as f64 * b.iters as f64 / b.elapsed.as_secs_f64() / 1e6
+        ),
+        Throughput::Bytes(n) => format!(
+            ", {:.3} MiB/s",
+            n as f64 * b.iters as f64 / b.elapsed.as_secs_f64() / (1024.0 * 1024.0)
+        ),
+    });
+    println!(
+        "{name}: {ns:.1} ns/iter ({} iters){}",
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration used to derive rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's fixed measurement
+    /// window ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+    }
+
+    /// Ends the group (a no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into one runner, mirroring criterion's
+/// simple `criterion_group!(name, fn...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from one or more group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        assert_eq!(
+            BenchmarkId::from_parameter("gcc:eon").to_string(),
+            "gcc:eon"
+        );
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1)).sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(2), &2u32, |b, n| {
+            b.iter(|| n + 1)
+        });
+        g.finish();
+    }
+}

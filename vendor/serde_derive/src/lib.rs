@@ -1,0 +1,408 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! against the vendored `serde` stub's value model, by parsing the
+//! derive input token stream directly (no `syn`/`quote` — the build
+//! environment is offline, so this crate must be dependency-free).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * non-generic structs with named fields (any field types that
+//!   themselves implement the traits), honoring `#[serde(default)]`,
+//! * non-generic newtype structs (`struct F(f64)`), serialized
+//!   transparently like the real serde,
+//! * non-generic enums with unit and named-field variants, externally
+//!   tagged (`"Variant"` / `{"Variant": {...}}`) like the real serde.
+//!
+//! Anything else (generics, tuple variants, unions) panics at macro
+//! expansion time with a message naming this file, so an unsupported
+//! type is a loud compile error rather than silent misbehaviour.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present.
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    /// Single-field tuple struct.
+    Newtype,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field list for named-field variants.
+    fields: Option<Vec<Field>>,
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consumes leading attributes (`#[...]`) starting at `i`, returning the
+/// next index and whether any of them was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i + 1 < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let TokenTree::Group(g) = &tokens[i + 1] {
+                    let body = g.stream().to_string();
+                    // `serde(default)` — tolerate arbitrary whitespace in
+                    // the token-stream rendering.
+                    let compact: String = body.chars().filter(|c| !c.is_whitespace()).collect();
+                    if compact.starts_with("serde(") && compact.contains("default") {
+                        has_default = true;
+                    }
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, has_default)
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == proc_macro::Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Consumes a type starting at `i`, up to (and past) a top-level `,`.
+/// Tracks `<`/`>` depth; groups are single tokens so brackets and braces
+/// never leak commas.
+fn skip_type_to_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                return i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, default) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name, found `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after `{name}`, found `{other}`"),
+        }
+        i = skip_type_to_comma(&tokens, i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, i);
+        i = next;
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let mut fields = None;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                proc_macro::Delimiter::Brace => {
+                    fields = Some(parse_named_fields(g.stream()));
+                    i += 1;
+                }
+                proc_macro::Delimiter::Parenthesis => panic!(
+                    "serde_derive stub: tuple variant `{name}` is unsupported \
+                     (see vendor/serde_derive/src/lib.rs)"
+                ),
+                _ => {}
+            }
+        }
+        // Skip to (and past) the separating comma, tolerating an
+        // explicit discriminant.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!(
+                "serde_derive stub: generic type `{name}` is unsupported \
+                 (see vendor/serde_derive/src/lib.rs)"
+            );
+        }
+    }
+    let shape = match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == proc_macro::Delimiter::Brace => {
+            Shape::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g)))
+            if g.delimiter() == proc_macro::Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut commas = 0;
+            let mut depth = 0i32;
+            for t in &inner {
+                match t {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => commas += 1,
+                    _ => {}
+                }
+            }
+            if !inner.is_empty() && commas == 0 {
+                Shape::Newtype
+            } else {
+                panic!(
+                    "serde_derive stub: multi-field tuple struct `{name}` is unsupported \
+                     (see vendor/serde_derive/src/lib.rs)"
+                );
+            }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == proc_macro::Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream()))
+        }
+        _ => panic!("serde_derive stub: unsupported item shape for `{name}`"),
+    };
+    Input { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Newtype => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),",
+                        v = v.name
+                    ),
+                    Some(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_value({0})),",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{v}\"), \
+                                  ::serde::Value::Map(::std::vec![{entries}]))]),",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_field_reads(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            if f.default {
+                format!(
+                    "{0}: ::serde::read_field_or_default(fields, \"{0}\")?,",
+                    f.name
+                )
+            } else {
+                format!("{0}: ::serde::read_field(fields, \"{0}\")?,", f.name)
+            }
+        })
+        .collect()
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let reads = gen_field_reads(fields);
+            format!(
+                "let fields = v.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                     ::std::format!(\"{name}: expected object, found {{}}\", v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{ {reads} }})"
+            )
+        }
+        Shape::Newtype => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let fields = v.fields.as_ref()?;
+                    let reads = gen_field_reads(fields);
+                    Some(format!(
+                        "\"{v}\" => {{\n\
+                             let fields = inner.as_map().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"{name}::{v}: expected object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{ {reads} }})\n\
+                         }},",
+                        v = v.name
+                    ))
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                         let (_tag, inner) = (&m[0].0, &m[0].1);\n\
+                         let _ = inner;\n\
+                         match _tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 ::std::format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"{name}: expected enum, found {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,478 @@
+//! Offline stand-in for the `serde_json` crate: serializes the vendored
+//! `serde` stub's [`Value`](serde::Value) tree to JSON text and parses
+//! JSON text back.
+//!
+//! Fidelity notes, because experiment caches must round-trip exactly:
+//!
+//! * `u64`/`i64` are printed as digit strings and re-parsed as integers
+//!   (never routed through `f64`), so 64-bit counters keep full
+//!   precision;
+//! * `f64` uses Rust's `Display`, which emits the shortest string that
+//!   round-trips to the identical bit pattern;
+//! * non-finite floats serialize as `null` (like the real serde_json);
+//! * object key order is preserved, so serializing the same value twice
+//!   yields byte-identical text — which is what lets the determinism
+//!   tests compare serial and parallel experiment engines by comparing
+//!   their JSON.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the stub's value model; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to human-readable JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails for the stub's value model.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into `T`.
+///
+/// # Errors
+///
+/// Returns an error describing the first syntax or shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = Parser::new(s).parse_document()?;
+    T::from_value(&value).map_err(Error::new)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            write_bracketed(out, '[', ']', items.len(), indent, level, |out, i, lvl| {
+                write_value(out, &items[i], indent, lvl);
+            });
+        }
+        Value::Map(entries) => {
+            write_bracketed(
+                out,
+                '{',
+                '}',
+                entries.len(),
+                indent,
+                level,
+                |out, i, lvl| {
+                    write_string(out, &entries[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, &entries[i].1, indent, lvl);
+                },
+            );
+        }
+    }
+}
+
+fn write_bracketed(
+    out: &mut String,
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    level: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(n) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(n * (level + 1)));
+        }
+        item(out, i, level + 1);
+    }
+    if let Some(n) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(n * level));
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = f.to_string();
+    out.push_str(&s);
+    // `Display` prints integral floats without a decimal point; add one
+    // so the value re-parses as a float (serde_json prints `1.0` too).
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Value, Error> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self
+            .peek()
+            .ok_or_else(|| self.err("unexpected end of input"))?
+        {
+            b'n' => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            b't' => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            b'f' => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            b'"' => self.parse_string().map(Value::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected string"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by the
+                            // writer; reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("unsupported \\u escape"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| self.err("truncated UTF-8 sequence"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("number text is ASCII");
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(u) = stripped.parse::<u64>() {
+                    if u <= i64::MAX as u64 {
+                        return Ok(Value::Int(-(u as i64)));
+                    }
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            // Integer too large for 64 bits: fall through to float.
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(from_str::<f64>("2.0").unwrap(), 2.0);
+        assert_eq!(to_string("a\"b\\c\n").unwrap(), r#""a\"b\\c\n""#);
+        assert_eq!(from_str::<String>(r#""a\"b\\c\n""#).unwrap(), "a\"b\\c\n");
+    }
+
+    #[test]
+    fn u64_counters_keep_full_precision() {
+        let big = u64::MAX - 1;
+        let json = to_string(&big).unwrap();
+        assert_eq!(from_str::<u64>(&json).unwrap(), big);
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        for f in [0.1, 1.0 / 3.0, 6.02e23, 5e-324, f64::MAX] {
+            let json = to_string(&f).unwrap();
+            let back = from_str::<f64>(&json).unwrap();
+            assert_eq!(f.to_bits(), back.to_bits(), "{json}");
+        }
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,null,3]");
+        assert_eq!(from_str::<Vec<Option<u32>>>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v: Vec<u32> = vec![1, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<u64>("[1,").is_err());
+        assert!(from_str::<u64>("1 2").is_err());
+        assert!(from_str::<String>("\"abc").is_err());
+    }
+}
