@@ -5,9 +5,9 @@
 //! The paper fixes Δ = 250 000, quota = 50 000 and a ~25-cycle switch;
 //! this binary shows those are reasonable points, not magic ones.
 
-use soe_bench::{banner, jobs_from_args, run_config, sizing_from_args};
-use soe_core::pool::{run_jobs, Job};
-use soe_core::runner::{run_pair_with_policy, run_singles, RunConfig};
+use soe_bench::{banner, run_config, run_supervised, Cli};
+use soe_core::pool::Job;
+use soe_core::runner::{try_run_pair_with_policy, RunConfig};
 use soe_core::{FairnessConfig, FairnessPolicy};
 use soe_model::FairnessLevel;
 use soe_stats::{fnum, Align, Table};
@@ -28,29 +28,41 @@ fn run_with(
     singles: &[soe_core::SingleRun],
     cfg: &RunConfig,
     fairness: FairnessConfig,
-) -> soe_core::PairRun {
-    run_pair_with_policy(
+) -> Result<soe_core::PairRun, String> {
+    try_run_pair_with_policy(
         pair,
         Box::new(FairnessPolicy::new(2, fairness)),
         singles,
         cfg,
         Some(fairness.target),
     )
+    .map_err(|e| e.to_string())
+}
+
+fn try_singles(pair: &Pair, cfg: &RunConfig) -> Result<[soe_core::SingleRun; 2], String> {
+    let (a, b) = pair.traces();
+    Ok([
+        soe_core::runner::try_run_single(Box::new(a), cfg).map_err(|e| e.to_string())?,
+        soe_core::runner::try_run_single(Box::new(b), cfg).map_err(|e| e.to_string())?,
+    ])
 }
 
 fn main() {
-    let sizing = sizing_from_args();
+    let cli = Cli::parse_or_exit();
+    let sizing = cli.sizing;
     banner(
         "Ablation: mechanism parameter sensitivity (swim:eon, F = 1/2)",
         sizing,
     );
     let base_cfg = run_config(sizing);
-    let workers = jobs_from_args();
     let pair = Pair {
         a: "swim",
         b: "eon",
     };
-    let singles = run_singles(&pair, &base_cfg);
+    let singles = try_singles(&pair, &base_cfg).unwrap_or_else(|e| {
+        eprintln!("error: measuring baseline references: {e}");
+        std::process::exit(1);
+    });
 
     let base_fairness = FairnessConfig {
         target: FairnessLevel::HALF,
@@ -187,14 +199,14 @@ fn main() {
         .iter()
         .map(|(label, v)| Job::new(label.clone(), *v))
         .collect();
-    let pair_ref = &pair;
-    let singles_ref = &singles;
-    let runs = run_jobs(jobs, workers, move |v| {
+    let job_pair = pair.clone();
+    let job_singles = singles;
+    let runs = run_supervised(jobs, &cli, move |v| {
         if v.remeasure_singles {
-            let singles = run_singles(pair_ref, &v.cfg);
-            run_with(pair_ref, &singles, &v.cfg, v.fairness)
+            let singles = try_singles(&job_pair, &v.cfg)?;
+            run_with(&job_pair, &singles, &v.cfg, v.fairness)
         } else {
-            run_with(pair_ref, singles_ref, &v.cfg, v.fairness)
+            run_with(&job_pair, &job_singles, &v.cfg, v.fairness)
         }
     });
 

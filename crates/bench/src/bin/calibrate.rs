@@ -33,7 +33,10 @@ fn main() {
     }
 
     for name in spec::NAMES {
-        let profile = spec::profile(name).expect("known profile");
+        let Some(profile) = spec::profile(name) else {
+            eprintln!("error: spec::NAMES lists {name:?} but spec::profile does not know it");
+            std::process::exit(1);
+        };
         let target_ipm = profile.target_ipm();
         let trace = SyntheticTrace::new(profile, 0x10_0000_0000, 0);
 

@@ -3,9 +3,9 @@
 //! enforcement (middle), and achieved fairness over time (bottom),
 //! with fairness enforced to F = 1/4.
 
-use soe_bench::{banner, jobs_from_args, run_config, save_svg, sizing_from_args};
-use soe_core::pool::{run_jobs, Job};
-use soe_core::runner::run_singles;
+use soe_bench::{banner, run_config, run_supervised, save_svg, Cli};
+use soe_core::pool::Job;
+use soe_core::runner::try_run_single;
 use soe_core::timeseries::{estimated_ipc_st_series, fairness_series, speedup_series};
 use soe_core::{FairnessConfig, FairnessPolicy, SingleRun, WindowRecord};
 use soe_model::FairnessLevel;
@@ -28,7 +28,7 @@ fn run_with_records(
     pair: &Pair,
     f: FairnessLevel,
     cfg: &soe_core::runner::RunConfig,
-) -> Vec<WindowRecord> {
+) -> Result<Vec<WindowRecord>, String> {
     // A dedicated run that keeps the policy alive so its history can be
     // extracted afterwards.
     let fairness = FairnessConfig {
@@ -41,14 +41,16 @@ fn run_with_records(
         pair.boxed_traces(),
         Box::new(FairnessPolicy::new(2, fairness)),
     );
-    m.run_cycles(cfg.warmup_cycles);
-    m.run_cycles(cfg.measure_cycles);
-    m.policy()
+    m.try_run_cycles(cfg.warmup_cycles, cfg.stall_window)
+        .map_err(|e| e.to_string())?;
+    m.try_run_cycles(cfg.measure_cycles, cfg.stall_window)
+        .map_err(|e| e.to_string())?;
+    Ok(m.policy()
         .as_any()
         .and_then(|a| a.downcast_ref::<FairnessPolicy>())
         .expect("fairness policy")
         .records()
-        .to_vec()
+        .to_vec())
 }
 
 /// Rebuilds a series under a new display name (for combined charts).
@@ -61,7 +63,8 @@ fn rename(ts: soe_stats::TimeSeries, name: &str) -> soe_stats::TimeSeries {
 }
 
 fn main() {
-    let sizing = sizing_from_args();
+    let cli = Cli::parse_or_exit();
+    let sizing = cli.sizing;
     banner(
         "Figure 5: gcc:eon — IPC_ST estimation, speedups and achieved fairness (F = 1/4)",
         sizing,
@@ -69,23 +72,30 @@ fn main() {
     let cfg = run_config(sizing);
     let pair = Pair { a: "gcc", b: "eon" };
 
-    // The references and the two recorded runs are independent; pool
-    // them. Order is preserved, so destructuring below is safe.
+    // The references and the two recorded runs are independent; run
+    // them supervised. Order is preserved, so destructuring below is
+    // safe.
     let jobs = vec![
-        Job::new("singles gcc,eon".to_string(), Task::Singles),
+        Job::new("singles-gcc,eon".to_string(), Task::Singles),
         Job::new(
-            "records @ F=0".to_string(),
+            "records@F=0".to_string(),
             Task::Records(FairnessLevel::NONE),
         ),
         Job::new(
-            "records @ F=1/4".to_string(),
+            "records@F=1/4".to_string(),
             Task::Records(FairnessLevel::QUARTER),
         ),
     ];
-    let pair_ref = &pair;
-    let mut out = run_jobs(jobs, jobs_from_args(), move |task| match task {
-        Task::Singles => Measured::Singles(run_singles(pair_ref, &cfg)),
-        Task::Records(f) => Measured::Records(run_with_records(pair_ref, *f, &cfg)),
+    let job_pair = pair.clone();
+    let mut out = run_supervised(jobs, &cli, move |task| match task {
+        Task::Singles => {
+            let (a, b) = job_pair.traces();
+            Ok(Measured::Singles([
+                try_run_single(Box::new(a), &cfg).map_err(|e| e.to_string())?,
+                try_run_single(Box::new(b), &cfg).map_err(|e| e.to_string())?,
+            ]))
+        }
+        Task::Records(f) => Ok(Measured::Records(run_with_records(&job_pair, *f, &cfg)?)),
     })
     .into_iter();
     let (

@@ -2,15 +2,15 @@
 //! stacked `IPC_SOE` at F = 0, 1/4, 1/2, 1, next to the single-thread
 //! IPCs, plus the average SOE speedup over single thread.
 
-use soe_bench::{banner, experiments::full_results, jobs_from_args, sizing_from_args};
+use soe_bench::{banner, experiments::full_results, Cli};
 use soe_model::FairnessLevel;
 use soe_stats::{fnum, Align, Summary, Table};
 
 fn main() {
-    let sizing = sizing_from_args();
+    let cli = Cli::parse_or_exit();
+    let sizing = cli.sizing;
     banner("Figure 6: IPC_SOE per pair and fairness level", sizing);
-    let force = std::env::args().any(|a| a == "--force");
-    let results = full_results(sizing, force, jobs_from_args());
+    let results = full_results(sizing, &cli);
 
     let mut t = Table::new(vec![
         "pair".into(),

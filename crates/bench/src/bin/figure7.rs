@@ -1,17 +1,17 @@
 //! Figure 7 — throughput degradation caused by fairness enforcement
 //! (normalized to F = 0) and forced thread switches per 1 000 cycles.
 
-use soe_bench::{banner, experiments::full_results, jobs_from_args, save_svg, sizing_from_args};
+use soe_bench::{banner, experiments::full_results, save_svg, Cli};
 use soe_stats::{fnum, pearson, Align, Summary, Table};
 
 fn main() {
-    let sizing = sizing_from_args();
+    let cli = Cli::parse_or_exit();
+    let sizing = cli.sizing;
     banner(
         "Figure 7: throughput degradation and forced switches per 1000 cycles",
         sizing,
     );
-    let force = std::env::args().any(|a| a == "--force");
-    let results = full_results(sizing, force, jobs_from_args());
+    let results = full_results(sizing, &cli);
 
     let mut t = Table::new(vec![
         "pair".into(),

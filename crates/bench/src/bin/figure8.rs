@@ -2,18 +2,18 @@
 //! values ordered by the F = 0 fairness (left), and the truncated
 //! averages `min(F, achieved)` with standard deviations (right).
 
-use soe_bench::{banner, experiments::full_results, jobs_from_args, save_svg, sizing_from_args};
+use soe_bench::{banner, experiments::full_results, save_svg, Cli};
 use soe_model::FairnessLevel;
 use soe_stats::{fnum, Align, Summary, Table};
 
 fn main() {
-    let sizing = sizing_from_args();
+    let cli = Cli::parse_or_exit();
+    let sizing = cli.sizing;
     banner(
         "Figure 8: achieved fairness with and without enforcement",
         sizing,
     );
-    let force = std::env::args().any(|a| a == "--force");
-    let results = full_results(sizing, force, jobs_from_args());
+    let results = full_results(sizing, &cli);
 
     // Order runs by their achieved fairness without enforcement, as the
     // paper does.

@@ -7,37 +7,39 @@
 //! additional threads stop helping and only add switch overhead and cache
 //! pressure.
 
-use soe_bench::{banner, jobs_from_args, run_config, sizing_from_args};
-use soe_core::pool::{run_jobs, Job};
-use soe_core::runner::{run_multi, run_single};
+use soe_bench::{banner, run_config, run_supervised, Cli};
+use soe_core::pool::Job;
+use soe_core::runner::{run_multi, try_run_single};
 use soe_model::FairnessLevel;
 use soe_stats::{fnum, Align, Table};
 use soe_workloads::{spec, SyntheticTrace};
 
+/// Memory-bound, small-footprint threads: the workloads SOE exists for
+/// (each spends most of its solo time stalled on memory).
+const ROSTER: [&str; 6] = ["swim", "art", "lucas", "mcf", "applu", "mgrid"];
+
 fn main() {
-    let sizing = sizing_from_args();
+    let cli = Cli::parse_or_exit();
+    let sizing = cli.sizing;
     banner(
         "Thread-count sweep: SOE throughput vs number of threads",
         sizing,
     );
     let cfg = run_config(sizing);
-    let workers = jobs_from_args();
-
-    // Memory-bound, small-footprint threads: the workloads SOE exists
-    // for (each spends most of its solo time stalled on memory).
-    let roster = ["swim", "art", "lucas", "mcf", "applu", "mgrid"];
+    let roster = ROSTER;
 
     // Single-thread references, measured once each. Seeds are a pure
     // function of the roster position, so pooling cannot change them.
     let single_jobs: Vec<Job<usize>> = roster
         .iter()
         .enumerate()
-        .map(|(i, name)| Job::new(format!("single {name}"), i))
+        .map(|(i, name)| Job::new(format!("single/{name}"), i))
         .collect();
-    let singles = run_jobs(single_jobs, workers, |i| {
-        let profile = spec::profile(roster[*i]).expect("known benchmark");
+    let singles = run_supervised(single_jobs, &cli, move |i| {
+        let name = ROSTER[*i];
+        let profile = spec::profile(name).ok_or_else(|| format!("unknown benchmark {name:?}"))?;
         let trace = SyntheticTrace::new(profile, (*i as u64 + 1) * 0x10_0000_0000, 0);
-        run_single(Box::new(trace), &cfg)
+        try_run_single(Box::new(trace), &cfg).map_err(|e| e.to_string())
     });
 
     // Sweep: every (thread count, fairness level) is independent once
@@ -47,11 +49,11 @@ fn main() {
         .flat_map(|n| {
             levels
                 .iter()
-                .map(move |f| Job::new(format!("{n} threads @ {}", f.label()), (n, *f)))
+                .map(move |f| Job::new(format!("{n}-threads@{}", f.label()), (n, *f)))
         })
         .collect();
-    let singles_ref = &singles;
-    let runs = run_jobs(sweep_jobs, workers, move |(n, f)| {
+    let job_singles = singles.clone();
+    let runs = run_supervised(sweep_jobs, &cli, move |(n, f)| {
         let n = *n;
         // The max-cycles quota must leave room for every thread within
         // each Δ window; scale it down as the thread count grows.
@@ -62,7 +64,7 @@ fn main() {
             .min(cfg.fairness.delta / (n as u64 + 1));
         // Every thread needs its share of warm-up.
         cfg_n.warmup_cycles = cfg.warmup_cycles * n as u64;
-        run_multi(&roster[..n], *f, &singles_ref[..n], &cfg_n)
+        Ok(run_multi(&ROSTER[..n], *f, &job_singles[..n], &cfg_n))
     });
 
     let mut t = Table::new(vec![

@@ -1,15 +1,24 @@
 //! Shared plumbing for the table/figure regeneration binaries.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the
-//! paper; this library provides the common experiment sizing and output
-//! conventions. Pass `--quick` to any binary for a scaled-down run
-//! (useful for smoke-testing; the full runs are what `EXPERIMENTS.md`
-//! records), and `--jobs N` (or `SOE_JOBS=N`) to bound the worker
-//! threads used for independent simulation runs.
+//! paper; this library provides the common experiment sizing, output
+//! and supervision conventions. Pass `--quick` to any binary for a
+//! scaled-down run (useful for smoke-testing; the full runs are what
+//! `EXPERIMENTS.md` records), and `--jobs N` (or `SOE_JOBS=N`) to bound
+//! the worker threads used for independent simulation runs.
+//!
+//! The matrix-driven binaries (`figure6`/`figure7`/`figure8`) and the
+//! pooled sweeps additionally understand the supervision flags parsed
+//! by [`Cli`]: `--resume`, `--timeout SECS`, `--retries N`, plus the
+//! `SOE_FAULTS` chaos-injection environment variable.
 
 pub mod experiments;
 
+use std::time::Duration;
+
+use soe_core::pool::Job;
 use soe_core::runner::RunConfig;
+use soe_core::{supervise_jobs, FaultPlan, SuperviseOptions};
 
 /// Experiment sizing selected from the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,29 +43,205 @@ pub fn sizing_from_args() -> Sizing {
 /// machine's available parallelism. Results are bit-identical at any
 /// value; only wall-clock time changes.
 ///
-/// # Panics
-///
-/// Panics on a malformed or zero `--jobs` value — a typo silently
-/// falling back to a default would be worse.
+/// Exits with a diagnostic on a malformed or zero `--jobs` value — a
+/// typo silently falling back to a default would be worse.
 pub fn jobs_from_args() -> usize {
     let mut args = std::env::args();
     let mut explicit = None;
     while let Some(arg) = args.next() {
         let value = if arg == "--jobs" {
             args.next()
-                .unwrap_or_else(|| panic!("--jobs requires a value"))
+                .unwrap_or_else(|| usage_error("--jobs requires a value"))
         } else if let Some(v) = arg.strip_prefix("--jobs=") {
             v.to_string()
         } else {
             continue;
         };
-        let n: usize = value
-            .parse()
-            .unwrap_or_else(|_| panic!("--jobs expects a positive integer, got {value:?}"));
-        assert!(n > 0, "--jobs expects a positive integer, got 0");
-        explicit = Some(n);
+        explicit = Some(parse_jobs(&value).unwrap_or_else(|e| usage_error(&e)));
     }
     soe_core::pool::resolve_workers(explicit)
+}
+
+fn parse_jobs(value: &str) -> Result<usize, String> {
+    match value.parse::<usize>() {
+        Ok(0) => Err("--jobs expects a positive integer, got 0".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("--jobs expects a positive integer, got {value:?}")),
+    }
+}
+
+/// Matches `--name value` / `--name=value`, pulling the value from the
+/// remaining arguments when needed. `None` means `arg` is not this flag.
+fn flag_value(
+    arg: &str,
+    name: &str,
+    args: &mut impl Iterator<Item = String>,
+) -> Option<Result<String, String>> {
+    if let Some(v) = arg.strip_prefix(name) {
+        if let Some(inline) = v.strip_prefix('=') {
+            return Some(Ok(inline.to_string()));
+        }
+        if v.is_empty() {
+            return Some(
+                args.next()
+                    .ok_or_else(|| format!("{name} requires a value")),
+            );
+        }
+    }
+    None
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// The flags shared by the supervised experiment binaries.
+const USAGE: &str = "\
+usage: <binary> [--quick] [--force] [--resume] [--jobs N] [--timeout SECS] [--retries N]
+
+  --quick         scaled-down smoke sizing (default: full paper sizing)
+  --force         ignore an existing results cache and recompute
+  --resume        reuse completed runs from the on-disk journal
+  --jobs N        worker threads (default: SOE_JOBS or available cores)
+  --timeout SECS  per-run watchdog; 0 disables (default: 1800)
+  --retries N     retries per failing run before quarantine (default: 2)
+
+environment:
+  SOE_JOBS        default worker threads
+  SOE_RESULTS_DIR cache/journal/manifest directory (default: results/)
+  SOE_FAULTS      deterministic fault injection, e.g. panic:0.05,stall:0.02@7";
+
+/// Parsed command line for the supervised experiment binaries: sizing,
+/// cache control, resume, worker count, and the per-run watchdog /
+/// retry budget fed into [`SuperviseOptions`].
+#[derive(Debug, Clone, Copy)]
+pub struct Cli {
+    /// Experiment sizing (`--quick`).
+    pub sizing: Sizing,
+    /// Ignore an existing results cache (`--force`).
+    pub force: bool,
+    /// Reuse completed runs from the journal (`--resume`).
+    pub resume: bool,
+    /// Worker threads.
+    pub workers: usize,
+    /// Per-attempt watchdog timeout; `None` (from `--timeout 0`) waits
+    /// forever.
+    pub timeout: Option<Duration>,
+    /// Retries per failing run before quarantine.
+    pub retries: u32,
+}
+
+impl Cli {
+    /// Parses `std::env::args`, exiting with a diagnostic and usage on
+    /// any malformed flag (and on `--help`, with status 0).
+    pub fn parse_or_exit() -> Self {
+        if std::env::args().any(|a| a == "--help" || a == "-h") {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(e) => usage_error(&e),
+        }
+    }
+
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the malformed flag or value.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut cli = Self {
+            sizing: Sizing::Full,
+            force: false,
+            resume: false,
+            workers: 0,
+            timeout: Some(Duration::from_secs(1_800)),
+            retries: 2,
+        };
+        let mut explicit_jobs = None;
+        let mut args = args.fuse();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => cli.sizing = Sizing::Quick,
+                "--force" => cli.force = true,
+                "--resume" => cli.resume = true,
+                _ => {
+                    if let Some(v) = flag_value(&arg, "--jobs", &mut args) {
+                        explicit_jobs = Some(parse_jobs(&v?)?);
+                    } else if let Some(v) = flag_value(&arg, "--timeout", &mut args) {
+                        let v = v?;
+                        let secs = v
+                            .parse::<u64>()
+                            .map_err(|_| format!("--timeout expects whole seconds, got {v:?}"))?;
+                        cli.timeout = (secs > 0).then_some(Duration::from_secs(secs));
+                    } else if let Some(v) = flag_value(&arg, "--retries", &mut args) {
+                        let v = v?;
+                        cli.retries = v.parse::<u32>().map_err(|_| {
+                            format!("--retries expects a non-negative integer, got {v:?}")
+                        })?;
+                    } else {
+                        return Err(format!("unknown flag {arg:?}"));
+                    }
+                }
+            }
+        }
+        cli.workers = soe_core::pool::resolve_workers(explicit_jobs);
+        Ok(cli)
+    }
+
+    /// The supervision settings for this invocation: the parsed watchdog
+    /// and retry budget, plus fault injection from `SOE_FAULTS`. Exits
+    /// with a diagnostic if `SOE_FAULTS` is set but malformed (a chaos
+    /// run silently running without faults would fake a pass).
+    pub fn supervise_options(&self) -> SuperviseOptions {
+        let faults = FaultPlan::from_env().unwrap_or_else(|e| usage_error(&e));
+        if let Some(plan) = &faults {
+            eprintln!(
+                "[supervise] fault injection active: panic:{}, stall:{} ({:?}) @ seed {}",
+                plan.panic_prob, plan.stall_prob, plan.stall, plan.seed
+            );
+        }
+        SuperviseOptions {
+            workers: self.workers,
+            timeout: self.timeout,
+            retries: self.retries,
+            backoff: Duration::from_millis(500),
+            faults,
+            progress: true,
+        }
+    }
+}
+
+/// Runs independent jobs under full supervision (watchdog, retries,
+/// fault injection) and insists on a complete batch: if any job is
+/// quarantined the process reports every failure and exits with status
+/// 1, because a figure computed from partial sweep data would be
+/// silently wrong.
+pub fn run_supervised<P, R, F>(jobs: Vec<Job<P>>, cli: &Cli, f: F) -> Vec<R>
+where
+    P: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(&P) -> Result<R, String> + Send + Sync + 'static,
+{
+    let report = supervise_jobs(jobs, &cli.supervise_options(), f);
+    if !report.is_complete() {
+        eprintln!(
+            "error: {} run(s) still failing after retries:",
+            report.quarantined.len()
+        );
+        for q in &report.quarantined {
+            eprintln!("  {q}");
+        }
+        std::process::exit(1);
+    }
+    report
+        .results
+        .into_iter()
+        .map(|r| r.expect("complete report has every result"))
+        .collect()
 }
 
 /// The run configuration for a sizing.
@@ -69,20 +254,17 @@ pub fn run_config(sizing: Sizing) -> RunConfig {
 
 /// Writes an SVG figure next to the cached results
 /// (`$SOE_RESULTS_DIR/reports/<name>.svg`, default `results/reports/`)
-/// and prints where it went.
+/// and prints where it went. The write is atomic, so a crash mid-write
+/// cannot leave a truncated figure behind.
 pub fn save_svg(name: &str, svg: &str) {
-    let dir = std::path::PathBuf::from(
+    let path = std::path::PathBuf::from(
         std::env::var("SOE_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()),
     )
-    .join("reports");
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("[svg] cannot create {}: {e}", dir.display());
-        return;
-    }
-    let path = dir.join(format!("{name}.svg"));
-    match std::fs::write(&path, svg) {
+    .join("reports")
+    .join(format!("{name}.svg"));
+    match soe_core::atomic_write(&path, svg.as_bytes()) {
         Ok(()) => println!("[svg] wrote {}", path.display()),
-        Err(e) => eprintln!("[svg] cannot write {}: {e}", path.display()),
+        Err(e) => eprintln!("[svg] {e}"),
     }
 }
 
@@ -104,6 +286,10 @@ pub fn banner(title: &str, sizing: Sizing) {
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse(args.iter().map(ToString::to_string))
+    }
+
     #[test]
     fn full_config_is_paper_sized() {
         let c = run_config(Sizing::Full);
@@ -116,5 +302,57 @@ mod tests {
         let full = run_config(Sizing::Full);
         let quick = run_config(Sizing::Quick);
         assert!(quick.measure_cycles < full.measure_cycles);
+    }
+
+    #[test]
+    fn cli_defaults_are_conservative() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.sizing, Sizing::Full);
+        assert!(!cli.force);
+        assert!(!cli.resume);
+        assert_eq!(cli.timeout, Some(Duration::from_secs(1_800)));
+        assert_eq!(cli.retries, 2);
+        assert!(cli.workers >= 1);
+    }
+
+    #[test]
+    fn cli_parses_every_flag() {
+        let cli = parse(&[
+            "--quick",
+            "--force",
+            "--resume",
+            "--jobs",
+            "3",
+            "--timeout=90",
+            "--retries",
+            "0",
+        ])
+        .unwrap();
+        assert_eq!(cli.sizing, Sizing::Quick);
+        assert!(cli.force);
+        assert!(cli.resume);
+        assert_eq!(cli.workers, 3);
+        assert_eq!(cli.timeout, Some(Duration::from_secs(90)));
+        assert_eq!(cli.retries, 0);
+    }
+
+    #[test]
+    fn cli_timeout_zero_disables_the_watchdog() {
+        assert_eq!(parse(&["--timeout", "0"]).unwrap().timeout, None);
+    }
+
+    #[test]
+    fn cli_rejects_malformed_input() {
+        for bad in [
+            &["--jobs", "zero"][..],
+            &["--jobs", "0"],
+            &["--jobs"],
+            &["--timeout", "soon"],
+            &["--retries", "-1"],
+            &["--frobnicate"],
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains(bad[0].trim_start_matches('-')) || err.contains(bad[0]));
+        }
     }
 }

@@ -51,6 +51,7 @@ mod metrics;
 mod policy;
 pub mod pool;
 pub mod runner;
+pub mod supervise;
 pub mod timeseries;
 
 pub use counters::HwCounters;
@@ -61,3 +62,7 @@ pub use estimator::{
 pub use metrics::{PairRun, SingleRun, ThreadOutcome};
 pub use policy::{FairnessConfig, FairnessPolicy, MissLatencyMode, TimeSlicePolicy};
 pub use pool::{resolve_workers, run_jobs, try_run_jobs, Job, JobError, PoolOptions};
+pub use supervise::{
+    atomic_write, supervise_jobs, supervise_jobs_with, FailureKind, Fault, FaultPlan, JobFailure,
+    Journal, JournalRecovery, Quarantined, SuperviseOptions, SuperviseReport,
+};

@@ -64,21 +64,44 @@ impl FairnessConfig {
         }
     }
 
+    /// Validates the configuration, returning a descriptive error instead
+    /// of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Fails if Δ or the cycle quota is zero, or the quota is not below
+    /// Δ (every thread must get a chance to run within each window).
+    pub fn check(&self, threads: usize) -> Result<(), soe_sim::ConfigError> {
+        let fail = |msg: String| Err(soe_sim::ConfigError(msg));
+        if self.delta == 0 {
+            return fail("delta must be positive".into());
+        }
+        if self.max_cycles_quota == 0 {
+            return fail("cycle quota must be positive".into());
+        }
+        if self.max_cycles_quota as u128 * threads as u128 > self.delta as u128 {
+            return fail(format!(
+                "cycle quota must be at most delta / threads so every thread \
+                 runs within each window (quota {} * {} threads > delta {})",
+                self.max_cycles_quota, threads, self.delta
+            ));
+        }
+        if self.miss_lat <= 0.0 {
+            return fail("miss latency must be positive".into());
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
-    /// Panics if Δ or the cycle quota is zero, or the quota is not below
-    /// Δ (every thread must get a chance to run within each window).
+    /// Panics with the [`FairnessConfig::check`] message on any invalid
+    /// parameter.
     pub fn validate(&self, threads: usize) {
-        assert!(self.delta > 0, "delta must be positive");
-        assert!(self.max_cycles_quota > 0, "cycle quota must be positive");
-        assert!(
-            self.max_cycles_quota as u128 * threads as u128 <= self.delta as u128,
-            "cycle quota must be at most delta / threads so every thread \
-             runs within each window"
-        );
-        assert!(self.miss_lat > 0.0, "miss latency must be positive");
+        if let Err(e) = self.check(threads) {
+            panic!("{e}");
+        }
     }
 }
 

@@ -258,7 +258,7 @@ fn run_serial<P, R>(
         .collect()
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -270,7 +270,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Progress accounting: jobs completed / total plus an ETA from the
 /// running mean of job durations.
-struct Progress {
+pub(crate) struct Progress {
     total: usize,
     done: usize,
     spent: Duration,
@@ -279,7 +279,7 @@ struct Progress {
 }
 
 impl Progress {
-    fn new(total: usize, enabled: bool) -> Self {
+    pub(crate) fn new(total: usize, enabled: bool) -> Self {
         Self {
             total,
             done: 0,
@@ -289,7 +289,7 @@ impl Progress {
         }
     }
 
-    fn completed(&mut self, label: &str, took: Duration) {
+    pub(crate) fn completed(&mut self, label: &str, took: Duration) {
         self.done += 1;
         self.spent += took;
         if !self.enabled {

@@ -3,7 +3,7 @@
 //! statistics, measure).
 
 use soe_model::FairnessLevel;
-use soe_sim::{Machine, MachineConfig, NeverSwitch, SwitchPolicy, TraceSource};
+use soe_sim::{Machine, MachineConfig, NeverSwitch, SimError, SwitchPolicy, TraceSource};
 use soe_workloads::Pair;
 
 use crate::metrics::{PairRun, SingleRun, ThreadOutcome};
@@ -26,6 +26,12 @@ pub struct RunConfig {
     pub measure_cycles: u64,
     /// Fairness-mechanism parameters (the target is overridden per run).
     pub fairness: FairnessConfig,
+    /// Forward-progress watchdog: the run fails with
+    /// [`SimError::Stalled`] if no instruction retires (on any thread)
+    /// for this many cycles. Must sit far above the longest legitimate
+    /// stall (300-cycle memory plus TLB walks, bus queueing and switch
+    /// drain); `None` disables the check.
+    pub stall_window: Option<u64>,
 }
 
 impl RunConfig {
@@ -37,6 +43,7 @@ impl RunConfig {
             warmup_cycles: 2_000_000,
             measure_cycles: 8_000_000,
             fairness: FairnessConfig::paper(FairnessLevel::NONE),
+            stall_window: Some(1_000_000),
         }
     }
 
@@ -57,6 +64,7 @@ impl RunConfig {
                 min_quota_cycles: 600,
                 record_history: true,
             },
+            stall_window: Some(200_000),
         }
     }
 
@@ -70,29 +78,49 @@ impl RunConfig {
 
 /// Runs `trace` alone on the machine and measures its single-thread
 /// behaviour — the ground-truth `IPC_ST` of Eq 1.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration, a wedged machine, or a tripped
+/// stall watchdog; [`try_run_single`] is the non-panicking form.
 pub fn run_single(trace: Box<dyn TraceSource>, cfg: &RunConfig) -> SingleRun {
+    try_run_single(trace, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_single`] returning structured [`SimError`]s (bad configuration,
+/// wedged machine, stall-watchdog expiry) instead of panicking, so a
+/// supervisor can retry or quarantine the run.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] before the machine is built;
+/// [`SimError::Stalled`] / [`SimError::Wedged`] from the run itself.
+pub fn try_run_single(trace: Box<dyn TraceSource>, cfg: &RunConfig) -> Result<SingleRun, SimError> {
+    cfg.machine
+        .check()
+        .map_err(|e| SimError::InvalidConfig(e.0))?;
     let name = trace.name().to_string();
     let mut m = Machine::new(cfg.machine, vec![trace], Box::new(NeverSwitch::new()));
-    m.run_cycles(cfg.warmup_cycles);
+    m.try_run_cycles(cfg.warmup_cycles, cfg.stall_window)?;
     let miss_before = {
         let h = m.hierarchy().stats();
         h.data_l2_misses + h.walk_l2_misses
     };
     m.reset_stats();
     let start = m.now();
-    m.run_cycles(cfg.measure_cycles);
+    m.try_run_cycles(cfg.measure_cycles, cfg.stall_window)?;
     let cycles = m.now() - start;
     let retired = m.stats().threads[0].retired;
     let h = m.hierarchy().stats();
     let l2_misses = h.data_l2_misses + h.walk_l2_misses - miss_before;
-    SingleRun {
+    Ok(SingleRun {
         name,
         retired,
         cycles,
         ipc_st: retired as f64 / cycles as f64,
         l2_misses,
         ipm: retired as f64 / l2_misses.max(1) as f64,
-    }
+    })
 }
 
 /// Runs `pair` under an arbitrary policy, using previously measured
@@ -109,10 +137,35 @@ pub fn run_pair_with_policy(
     cfg: &RunConfig,
     target: Option<FairnessLevel>,
 ) -> PairRun {
+    try_run_pair_with_policy(pair, policy, singles, cfg, target).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_pair_with_policy`] returning structured [`SimError`]s instead of
+/// panicking, so a supervisor can retry or quarantine the run.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] before the machine is built;
+/// [`SimError::Stalled`] / [`SimError::Wedged`] from the run itself.
+///
+/// # Panics
+///
+/// Still panics if `singles` does not contain one entry per thread in
+/// pair order — that is a caller bug, not a run failure.
+pub fn try_run_pair_with_policy(
+    pair: &Pair,
+    policy: Box<dyn SwitchPolicy>,
+    singles: &[SingleRun],
+    cfg: &RunConfig,
+    target: Option<FairnessLevel>,
+) -> Result<PairRun, SimError> {
     assert_eq!(singles.len(), 2, "one single-thread reference per thread");
+    cfg.machine
+        .check()
+        .map_err(|e| SimError::InvalidConfig(e.0))?;
     let policy_name = policy.name().to_string();
     let mut m = Machine::new(cfg.machine, pair.boxed_traces(), policy);
-    m.run_cycles(cfg.warmup_cycles);
+    m.try_run_cycles(cfg.warmup_cycles, cfg.stall_window)?;
     m.reset_stats();
     if let Some(p) = m
         .policy_mut()
@@ -122,7 +175,7 @@ pub fn run_pair_with_policy(
         p.clear_records();
     }
     let start = m.now();
-    m.run_cycles(cfg.measure_cycles);
+    m.try_run_cycles(cfg.measure_cycles, cfg.stall_window)?;
     let cycles = m.now() - start;
     let stats = m.stats().clone();
 
@@ -159,14 +212,34 @@ pub fn run_pair_with_policy(
         avg_switch_latency: stats.avg_switch_latency(),
     };
     run.finalize();
-    run
+    Ok(run)
 }
 
 /// Runs `pair` under the paper's fairness mechanism at target `f`
 /// (`F = 0` gives event-only SOE with estimation enabled).
 pub fn run_pair(pair: &Pair, f: FairnessLevel, singles: &[SingleRun], cfg: &RunConfig) -> PairRun {
-    let policy = FairnessPolicy::new(2, cfg.with_target(f));
-    run_pair_with_policy(pair, Box::new(policy), singles, cfg, Some(f))
+    try_run_pair(pair, f, singles, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_pair`] returning structured [`SimError`]s instead of panicking.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] if the machine or fairness configuration
+/// is inconsistent; [`SimError::Stalled`] / [`SimError::Wedged`] from
+/// the run itself.
+pub fn try_run_pair(
+    pair: &Pair,
+    f: FairnessLevel,
+    singles: &[SingleRun],
+    cfg: &RunConfig,
+) -> Result<PairRun, SimError> {
+    let fairness = cfg.with_target(f);
+    fairness
+        .check(2)
+        .map_err(|e| SimError::InvalidConfig(e.0))?;
+    let policy = FairnessPolicy::new(2, fairness);
+    try_run_pair_with_policy(pair, Box::new(policy), singles, cfg, Some(f))
 }
 
 /// Runs `pair` under the Section 6 time-slicing baseline.

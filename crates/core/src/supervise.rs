@@ -1,0 +1,989 @@
+//! Crash-safe experiment supervision: journaled resume, per-job
+//! watchdogs, retry with backoff, quarantine, and deterministic fault
+//! injection.
+//!
+//! The [`pool`](crate::pool) module dispatches the experiment matrix
+//! across cores; this module keeps a long matrix *alive*. It applies the
+//! same DRR-style discipline the paper applies to threads to our own
+//! jobs:
+//!
+//! * **Bounded time** — every job attempt runs on its own thread and is
+//!   abandoned after a wall-clock timeout ([`SuperviseOptions::timeout`]);
+//!   a hung run can no longer hold the whole matrix hostage. Inside the
+//!   simulator, the forward-progress watchdog
+//!   (`Machine::try_run_cycles` + `SimError::Stalled`) catches runs that
+//!   tick without retiring.
+//! * **Guaranteed forward progress** — panicked, failed or timed-out
+//!   jobs are retried with exponential backoff
+//!   ([`SuperviseOptions::retries`], [`SuperviseOptions::backoff`]) and,
+//!   if they keep failing, **quarantined**: the matrix completes with
+//!   partial results plus a failure manifest instead of aborting.
+//! * **Durability** — the [`Journal`] is an append-only, checksummed
+//!   record of completed runs. A killed process loses at most the
+//!   in-flight runs; reopening the journal recovers every intact record
+//!   (dropping a torn tail or bit-flipped lines) so `--resume` skips
+//!   completed work and reproduces bit-identical output.
+//! * **Testability** — the [`FaultPlan`] injects panics and stalls
+//!   deterministically from a seed (`SOE_FAULTS=panic:0.05,stall:0.02@7`),
+//!   so all of the above is exercised in tests and CI chaos runs, not
+//!   just during real incidents.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::pool::{panic_message, Job, Progress};
+
+// ---------------------------------------------------------------------------
+// Atomic writes
+// ---------------------------------------------------------------------------
+
+/// Writes `bytes` to `path` atomically: the data goes to a temporary
+/// file in the same directory (same filesystem, so the rename cannot
+/// cross devices), is synced, and is renamed over the target. A crash at
+/// any point leaves either the old file or the new one — never a
+/// half-written mix.
+///
+/// # Errors
+///
+/// Any I/O error from create/write/sync/rename, tagged with the path.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let name = path
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("atomic_write: {} has no file name", path.display()),
+            )
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!(".{name}.tmp{}", std::process::id()));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result.map_err(|e| std::io::Error::new(e.kind(), format!("writing {}: {e}", path.display())))
+}
+
+// ---------------------------------------------------------------------------
+// The run journal
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit — a small, dependency-free checksum for journal
+/// records (corruption detection, not cryptography).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// What [`Journal::open`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalRecovery {
+    /// Intact records recovered (later duplicates of a key win).
+    pub kept: usize,
+    /// Corrupt lines dropped: a torn tail from a crash mid-append, or
+    /// bit-flipped lines failing their checksum.
+    pub dropped: usize,
+}
+
+/// An append-only, checksummed record of completed runs.
+///
+/// Each record is one line, `<fnv1a64 hex> <key> <payload>\n`, where the
+/// checksum covers `<key> <payload>`. Keys must not contain spaces or
+/// newlines; payloads must not contain newlines (JSON fits both).
+/// Appends are a single `write_all` + flush + sync, so a crash can only
+/// tear the *last* line; [`Journal::open`] drops any line that fails to
+/// parse or checksum and — if anything was dropped — compacts the file
+/// atomically so the corruption never accumulates.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: std::fs::File,
+    entries: HashMap<String, String>,
+    order: Vec<String>,
+    recovery: JournalRecovery,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path`, recovering every
+    /// intact record.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from reading or (when compaction is needed)
+    /// rewriting the file.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let raw = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    e.kind(),
+                    format!("reading journal {}: {e}", path.display()),
+                ));
+            }
+        };
+        let mut entries = HashMap::new();
+        let mut order: Vec<String> = Vec::new();
+        let mut recovery = JournalRecovery::default();
+        for line in raw.split(|b| *b == b'\n') {
+            if line.is_empty() {
+                continue;
+            }
+            match Self::parse_line(line) {
+                Some((key, payload)) => {
+                    recovery.kept += 1;
+                    if entries.insert(key.clone(), payload).is_none() {
+                        order.push(key);
+                    }
+                }
+                None => recovery.dropped += 1,
+            }
+        }
+        if recovery.dropped > 0 {
+            // Compact: rewrite only the intact records, atomically, so
+            // the next crash-recovery starts from a clean file.
+            let mut clean = Vec::new();
+            for key in &order {
+                Self::encode_line(&mut clean, key, &entries[key]);
+            }
+            atomic_write(&path, &clean)?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| {
+                std::io::Error::new(e.kind(), format!("opening journal {}: {e}", path.display()))
+            })?;
+        Ok(Self {
+            path,
+            file,
+            entries,
+            order,
+            recovery,
+        })
+    }
+
+    fn parse_line(line: &[u8]) -> Option<(String, String)> {
+        let line = std::str::from_utf8(line).ok()?;
+        let (hex, rest) = line.split_once(' ')?;
+        if hex.len() != 16 {
+            return None;
+        }
+        let sum = u64::from_str_radix(hex, 16).ok()?;
+        if fnv1a64(rest.as_bytes()) != sum {
+            return None;
+        }
+        let (key, payload) = rest.split_once(' ')?;
+        Some((key.to_string(), payload.to_string()))
+    }
+
+    fn encode_line(out: &mut Vec<u8>, key: &str, payload: &str) {
+        let body = format!("{key} {payload}");
+        out.extend_from_slice(format!("{:016x} {body}\n", fnv1a64(body.as_bytes())).as_bytes());
+    }
+
+    /// What recovery found when this journal was opened.
+    pub fn recovery(&self) -> JournalRecovery {
+        self.recovery
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The payload recorded for `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Appends (or overwrites) a record durably: the line is written in
+    /// one `write_all`, flushed, and synced before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the append; also if `key` contains a space or
+    /// either part contains a newline (which would tear the line format).
+    pub fn append(&mut self, key: &str, payload: &str) -> std::io::Result<()> {
+        if key.is_empty() || key.contains(' ') || key.contains('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("journal key {key:?} must be non-empty and contain no space/newline"),
+            ));
+        }
+        if payload.contains('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("journal payload for {key} must not contain newlines"),
+            ));
+        }
+        let mut line = Vec::new();
+        Self::encode_line(&mut line, key, payload);
+        self.file.write_all(&line)?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        if self
+            .entries
+            .insert(key.to_string(), payload.to_string())
+            .is_none()
+        {
+            self.order.push(key.to_string());
+        }
+        Ok(())
+    }
+
+    /// Truncates the journal to empty (a fresh, non-resumed matrix).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the truncation.
+    pub fn reset(&mut self) -> std::io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.sync_data()?;
+        self.entries.clear();
+        self.order.clear();
+        self.recovery = JournalRecovery::default();
+        Ok(())
+    }
+
+    /// The journal's path on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// A fault decision for one job attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Run the job normally.
+    None,
+    /// Panic before the job body runs.
+    Panic,
+    /// Sleep for the given duration before the job body runs (long
+    /// enough, relative to the watchdog timeout, to look hung).
+    Stall(Duration),
+}
+
+/// Seed-driven fault injection: every `(job key, attempt)` pair maps
+/// deterministically to a fault decision, so a chaos run is exactly
+/// reproducible and a retry of the same job may deterministically
+/// succeed.
+///
+/// Spec format (the `SOE_FAULTS` environment variable):
+/// `panic:0.05,stall:0.02,stall_ms:4000@seed` — panic probability, stall
+/// probability, stall duration in milliseconds (default 2000), and the
+/// seed after `@` (default 0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability an attempt panics.
+    pub panic_prob: f64,
+    /// Probability an attempt stalls (checked after the panic draw).
+    pub stall_prob: f64,
+    /// How long a stalled attempt sleeps.
+    pub stall: Duration,
+    /// Seed mixed into every decision.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Parses a `panic:P,stall:P[,stall_ms:N][@seed]` spec.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the malformed component.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (body, seed) = match spec.rsplit_once('@') {
+            Some((body, seed)) => (
+                body,
+                seed.trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("SOE_FAULTS: bad seed {seed:?}"))?,
+            ),
+            None => (spec, 0),
+        };
+        let mut plan = Self {
+            panic_prob: 0.0,
+            stall_prob: 0.0,
+            stall: Duration::from_millis(2_000),
+            seed,
+        };
+        for entry in body.split(',').filter(|e| !e.trim().is_empty()) {
+            let (name, value) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("SOE_FAULTS: entry {entry:?} is not name:value"))?;
+            let value = value.trim();
+            match name.trim() {
+                "panic" => plan.panic_prob = parse_prob(value)?,
+                "stall" => plan.stall_prob = parse_prob(value)?,
+                "stall_ms" => {
+                    plan.stall = Duration::from_millis(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("SOE_FAULTS: bad stall_ms {value:?}"))?,
+                    );
+                }
+                other => return Err(format!("SOE_FAULTS: unknown fault kind {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads the plan from the `SOE_FAULTS` environment variable.
+    ///
+    /// # Errors
+    ///
+    /// The [`FaultPlan::parse`] message if the variable is set but
+    /// malformed (never silently ignored — a chaos run that quietly ran
+    /// without faults would fake a passing result).
+    pub fn from_env() -> Result<Option<Self>, String> {
+        match std::env::var("SOE_FAULTS") {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// The deterministic fault decision for `key` at `attempt`.
+    pub fn decide(&self, key: &str, attempt: u32) -> Fault {
+        if self.panic_prob <= 0.0 && self.stall_prob <= 0.0 {
+            return Fault::None;
+        }
+        let draw = |salt: u64| -> f64 {
+            let mut h = fnv1a64(key.as_bytes());
+            for chunk in [self.seed, u64::from(attempt), salt] {
+                h ^= splitmix64(chunk.wrapping_add(h));
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            // 53 high-quality bits -> [0, 1).
+            (splitmix64(h) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        if draw(1) < self.panic_prob {
+            Fault::Panic
+        } else if draw(2) < self.stall_prob {
+            Fault::Stall(self.stall)
+        } else {
+            Fault::None
+        }
+    }
+}
+
+fn parse_prob(value: &str) -> Result<f64, String> {
+    let p = value
+        .parse::<f64>()
+        .map_err(|_| format!("SOE_FAULTS: bad probability {value:?}"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("SOE_FAULTS: probability {p} outside [0, 1]"));
+    }
+    Ok(p)
+}
+
+/// splitmix64 finalizer — decorrelates the FNV lattice.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Supervised execution
+// ---------------------------------------------------------------------------
+
+/// Supervisor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SuperviseOptions {
+    /// Concurrent jobs (managers); `1` still supervises but runs one job
+    /// at a time.
+    pub workers: usize,
+    /// Wall-clock budget per attempt; `None` waits forever (no
+    /// watchdog).
+    pub timeout: Option<Duration>,
+    /// Further attempts after the first failure (so `retries: 2` means
+    /// at most 3 attempts) before the job is quarantined.
+    pub retries: u32,
+    /// Pause before the first retry; doubles per subsequent retry.
+    pub backoff: Duration,
+    /// Deterministic fault injection, if enabled.
+    pub faults: Option<FaultPlan>,
+    /// Print per-completion progress lines to stderr.
+    pub progress: bool,
+}
+
+impl SuperviseOptions {
+    /// `workers` managers, progress on, no timeout, 2 retries with a
+    /// 500 ms initial backoff, no fault injection.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            timeout: None,
+            retries: 2,
+            backoff: Duration::from_millis(500),
+            faults: None,
+            progress: true,
+        }
+    }
+
+    /// [`SuperviseOptions::new`] with progress output off (tests,
+    /// library callers).
+    pub fn quiet(workers: usize) -> Self {
+        Self {
+            progress: false,
+            ..Self::new(workers)
+        }
+    }
+}
+
+/// How one job attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The job panicked (captured; the worker survived).
+    Panicked,
+    /// The job returned an error value (e.g. a `SimError`).
+    Failed,
+    /// The watchdog expired before the attempt produced a result.
+    TimedOut,
+}
+
+/// One failed attempt of a supervised job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobFailure {
+    /// How the attempt failed.
+    pub kind: FailureKind,
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// The panic message, error value, or timeout description.
+    pub message: String,
+}
+
+/// A job whose every attempt failed: excluded from the results, reported
+/// in the failure manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quarantined {
+    /// Submission index of the job.
+    pub index: usize,
+    /// The job's label.
+    pub label: String,
+    /// Every failed attempt, in order.
+    pub failures: Vec<JobFailure>,
+}
+
+impl std::fmt::Display for Quarantined {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let last = self.failures.last();
+        write!(
+            f,
+            "job #{} `{}` quarantined after {} attempt(s): {}",
+            self.index,
+            self.label,
+            self.failures.len(),
+            last.map_or("<no attempts>".to_string(), |l| format!(
+                "{:?}: {}",
+                l.kind, l.message
+            ))
+        )
+    }
+}
+
+/// The outcome of a supervised batch: per-job results in submission
+/// order (`None` where the job was quarantined) plus the quarantine
+/// list.
+#[derive(Debug)]
+pub struct SuperviseReport<R> {
+    /// Results in submission order; `None` marks a quarantined job.
+    pub results: Vec<Option<R>>,
+    /// Jobs whose every attempt failed.
+    pub quarantined: Vec<Quarantined>,
+}
+
+impl<R> SuperviseReport<R> {
+    /// Whether every job produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// Unwraps a complete report into plain results.
+    ///
+    /// # Panics
+    ///
+    /// Panics (listing every quarantined job) if any job failed.
+    pub fn expect_complete(self) -> Vec<R> {
+        if !self.is_complete() {
+            let lines: Vec<String> = self.quarantined.iter().map(ToString::to_string).collect();
+            panic!(
+                "{} job(s) quarantined:\n  {}",
+                lines.len(),
+                lines.join("\n  ")
+            );
+        }
+        self.results
+            .into_iter()
+            .map(|r| r.expect("complete report has every result"))
+            .collect()
+    }
+}
+
+/// Runs `jobs` under supervision: each attempt on its own watched
+/// thread, retries with exponential backoff, persistent failures
+/// quarantined. Results come back in submission order.
+///
+/// Unlike [`try_run_jobs`](crate::pool::try_run_jobs) the job function
+/// returns `Result<R, String>`, so structured failures (a `SimError`,
+/// say) are retried and reported without being funneled through panics;
+/// panics are still captured.
+///
+/// `'static` bounds: a timed-out attempt's thread cannot be killed, only
+/// *abandoned* — so attempt threads are detached and share the job list
+/// and function via `Arc` rather than borrowing from the caller's stack.
+pub fn supervise_jobs<P, R, F>(
+    jobs: Vec<Job<P>>,
+    opts: &SuperviseOptions,
+    f: F,
+) -> SuperviseReport<R>
+where
+    P: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(&P) -> Result<R, String> + Send + Sync + 'static,
+{
+    supervise_jobs_with(jobs, opts, f, |_, _| {})
+}
+
+/// [`supervise_jobs`] with a completion hook: `on_complete(index, &result)`
+/// runs on the collector thread, in completion order, as each job
+/// succeeds — the place to journal results durably while the matrix is
+/// still running.
+pub fn supervise_jobs_with<P, R, F>(
+    jobs: Vec<Job<P>>,
+    opts: &SuperviseOptions,
+    f: F,
+    mut on_complete: impl FnMut(usize, &R),
+) -> SuperviseReport<R>
+where
+    P: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(&P) -> Result<R, String> + Send + Sync + 'static,
+{
+    let total = jobs.len();
+    if total == 0 {
+        return SuperviseReport {
+            results: Vec::new(),
+            quarantined: Vec::new(),
+        };
+    }
+    let jobs: Arc<Vec<Job<P>>> = Arc::new(jobs);
+    let f: Arc<F> = Arc::new(f);
+    let workers = opts.workers.clamp(1, total);
+    let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    let (tx, rx) = mpsc::channel::<(usize, Duration, Result<R, Quarantined>)>();
+
+    let mut results: Vec<Option<R>> = Vec::with_capacity(total);
+    results.resize_with(total, || None);
+    let mut quarantined: Vec<Quarantined> = Vec::new();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let jobs = Arc::clone(&jobs);
+            let f = Arc::clone(&f);
+            let opts = *opts;
+            // Managers are scoped (always joinable: every wait is
+            // bounded by recv_timeout); the attempt threads they spawn
+            // are detached, because a hung attempt can only be
+            // abandoned.
+            scope.spawn(move || loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= jobs.len() {
+                    break;
+                }
+                let start = Instant::now();
+                let outcome = supervise_one(&jobs, index, &f, &opts);
+                if tx.send((index, start.elapsed(), outcome)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut progress = Progress::new(total, opts.progress);
+        for (index, took, outcome) in rx {
+            progress.completed(&jobs[index].label, took);
+            match outcome {
+                Ok(r) => {
+                    on_complete(index, &r);
+                    results[index] = Some(r);
+                }
+                Err(q) => {
+                    if opts.progress {
+                        eprintln!("[supervise] {q}");
+                    }
+                    quarantined.push(q);
+                }
+            }
+        }
+    });
+
+    quarantined.sort_by_key(|q| q.index);
+    SuperviseReport {
+        results,
+        quarantined,
+    }
+}
+
+/// Runs one job to completion or quarantine: attempts on detached
+/// threads, each bounded by the watchdog timeout, with exponential
+/// backoff between attempts.
+fn supervise_one<P, R, F>(
+    jobs: &Arc<Vec<Job<P>>>,
+    index: usize,
+    f: &Arc<F>,
+    opts: &SuperviseOptions,
+) -> Result<R, Quarantined>
+where
+    P: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(&P) -> Result<R, String> + Send + Sync + 'static,
+{
+    let label = jobs[index].label.clone();
+    let mut failures: Vec<JobFailure> = Vec::new();
+    for attempt in 1..=opts.retries.saturating_add(1) {
+        if attempt > 1 {
+            // Exponential backoff: backoff, 2*backoff, 4*backoff, ...
+            let pause = opts.backoff.saturating_mul(1u32 << (attempt - 2).min(16));
+            std::thread::sleep(pause);
+        }
+        let fault = opts
+            .faults
+            .map_or(Fault::None, |plan| plan.decide(&label, attempt));
+        let (tx, rx) = mpsc::channel::<Result<R, JobFailure>>();
+        {
+            let jobs = Arc::clone(jobs);
+            let f = Arc::clone(f);
+            std::thread::spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    match fault {
+                        Fault::None => {}
+                        Fault::Panic => panic!("injected fault: panic (attempt {attempt})"),
+                        Fault::Stall(d) => std::thread::sleep(d),
+                    }
+                    f(&jobs[index].payload)
+                }));
+                let _ = tx.send(match outcome {
+                    Ok(Ok(r)) => Ok(r),
+                    Ok(Err(message)) => Err(JobFailure {
+                        kind: FailureKind::Failed,
+                        attempt,
+                        message,
+                    }),
+                    Err(payload) => Err(JobFailure {
+                        kind: FailureKind::Panicked,
+                        attempt,
+                        message: panic_message(&*payload),
+                    }),
+                });
+            });
+        }
+        let received = match opts.timeout {
+            Some(t) => rx.recv_timeout(t).map_err(|_| JobFailure {
+                kind: FailureKind::TimedOut,
+                attempt,
+                message: format!("no result within {t:?}; attempt thread abandoned"),
+            }),
+            // A disconnected channel without a timeout means the attempt
+            // thread died without sending — report rather than hang.
+            None => rx.recv().map_err(|_| JobFailure {
+                kind: FailureKind::Panicked,
+                attempt,
+                message: "attempt thread exited without a result".to_string(),
+            }),
+        };
+        match received {
+            Ok(Ok(r)) => return Ok(r),
+            Ok(Err(failure)) | Err(failure) => failures.push(failure),
+        }
+    }
+    Err(Quarantined {
+        index,
+        label,
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("soe-supervise-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.log")
+    }
+
+    #[test]
+    fn journal_round_trips_and_resumes() {
+        let path = tmp("roundtrip");
+        let mut j = Journal::open(&path).unwrap();
+        assert!(j.is_empty());
+        j.append("single/swim", r#"{"ipc":0.5}"#).unwrap();
+        j.append("pair/swim:eon/F=0", r#"{"x":1}"#).unwrap();
+        j.append("single/swim", r#"{"ipc":0.75}"#).unwrap();
+        drop(j);
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.get("single/swim"), Some(r#"{"ipc":0.75}"#));
+        assert_eq!(j.get("pair/swim:eon/F=0"), Some(r#"{"x":1}"#));
+        assert_eq!(j.recovery().dropped, 0);
+    }
+
+    #[test]
+    fn journal_drops_torn_tail_and_compacts() {
+        let path = tmp("torn");
+        let mut j = Journal::open(&path).unwrap();
+        j.append("a", "1").unwrap();
+        j.append("b", "2").unwrap();
+        drop(j);
+        // Simulate a crash mid-append: append half a line.
+        let mut raw = std::fs::read(&path).unwrap();
+        let full_len = raw.len();
+        raw.extend_from_slice(b"0123456789abcdef c 3-but-the-line-is-t");
+        std::fs::write(&path, &raw).unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.recovery().dropped, 1);
+        assert_eq!(j.get("a"), Some("1"));
+        // Compaction rewrote a clean file.
+        assert_eq!(std::fs::read(&path).unwrap().len(), full_len);
+        let j2 = Journal::open(&path).unwrap();
+        assert_eq!(j2.recovery().dropped, 0);
+        assert_eq!(j2.len(), 2);
+    }
+
+    #[test]
+    fn journal_rejects_bit_flips() {
+        let path = tmp("bitflip");
+        let mut j = Journal::open(&path).unwrap();
+        j.append("a", "payload-one").unwrap();
+        j.append("b", "payload-two").unwrap();
+        drop(j);
+        let mut raw = std::fs::read(&path).unwrap();
+        // Flip a bit inside the first record's payload.
+        let pos = 20;
+        raw[pos] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.recovery().dropped, 1);
+        assert_eq!(j.get("a"), None, "corrupt record must not surface");
+        assert_eq!(j.get("b"), Some("payload-two"));
+    }
+
+    #[test]
+    fn journal_append_rejects_separator_bytes() {
+        let path = tmp("reject");
+        let mut j = Journal::open(&path).unwrap();
+        assert!(j.append("has space", "x").is_err());
+        assert!(j.append("ok", "has\nnewline").is_err());
+        assert!(j.append("", "x").is_err());
+        j.append("ok", "fine").unwrap();
+    }
+
+    #[test]
+    fn atomic_write_replaces_content() {
+        let path = tmp("atomic");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No temp litter.
+        let dir = path.parent().unwrap();
+        assert_eq!(std::fs::read_dir(dir).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn fault_plan_parses_and_is_deterministic() {
+        let plan = FaultPlan::parse("panic:0.25,stall:0.1,stall_ms:1234@99").unwrap();
+        assert_eq!(plan.panic_prob, 0.25);
+        assert_eq!(plan.stall_prob, 0.1);
+        assert_eq!(plan.stall, Duration::from_millis(1234));
+        assert_eq!(plan.seed, 99);
+        for key in ["a", "b", "pair/swim:eon/F=1"] {
+            for attempt in 1..4 {
+                assert_eq!(plan.decide(key, attempt), plan.decide(key, attempt));
+            }
+        }
+        // Different seeds must produce different decision patterns over
+        // enough keys.
+        let other = FaultPlan { seed: 100, ..plan };
+        let pattern = |p: &FaultPlan| -> Vec<Fault> {
+            (0..64).map(|i| p.decide(&format!("k{i}"), 1)).collect()
+        };
+        assert_ne!(pattern(&plan), pattern(&other));
+        // Probabilities are roughly honored: panic:1.0 always panics.
+        let always = FaultPlan::parse("panic:1.0").unwrap();
+        assert_eq!(always.decide("anything", 1), Fault::Panic);
+        let never = FaultPlan::parse("panic:0.0,stall:0.0").unwrap();
+        assert_eq!(never.decide("anything", 1), Fault::None);
+    }
+
+    #[test]
+    fn fault_plan_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("panic:1.5").is_err());
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("explode:0.5").is_err());
+        assert!(FaultPlan::parse("panic:0.5@notanumber").is_err());
+    }
+
+    #[test]
+    fn supervised_jobs_return_in_order() {
+        let jobs: Vec<Job<u64>> = (0..16).map(|i| Job::new(format!("j{i}"), i)).collect();
+        let report = supervise_jobs(jobs, &SuperviseOptions::quiet(4), |i| Ok(*i * 2));
+        assert!(report.is_complete());
+        assert_eq!(
+            report.expect_complete(),
+            (0..16).map(|i| i * 2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn retry_recovers_a_flaky_job() {
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        let jobs = vec![Job::new("flaky", ())];
+        let mut opts = SuperviseOptions::quiet(1);
+        opts.retries = 2;
+        opts.backoff = Duration::from_millis(1);
+        let report = supervise_jobs(jobs, &opts, |_: &()| {
+            if CALLS.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err("transient".to_string())
+            } else {
+                Ok(42u32)
+            }
+        });
+        assert!(report.is_complete());
+        assert_eq!(report.results[0], Some(42));
+        assert_eq!(CALLS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn persistent_failure_is_quarantined_with_history() {
+        let jobs = vec![Job::new("good", 1u32), Job::new("bad", 2u32)];
+        let mut opts = SuperviseOptions::quiet(2);
+        opts.retries = 1;
+        opts.backoff = Duration::from_millis(1);
+        let report = supervise_jobs(jobs, &opts, |i| {
+            if *i == 2 {
+                Err("always broken".to_string())
+            } else {
+                Ok(*i)
+            }
+        });
+        assert!(!report.is_complete());
+        assert_eq!(report.results[0], Some(1));
+        assert_eq!(report.results[1], None);
+        assert_eq!(report.quarantined.len(), 1);
+        let q = &report.quarantined[0];
+        assert_eq!(q.label, "bad");
+        assert_eq!(q.failures.len(), 2, "initial attempt + 1 retry");
+        assert!(q
+            .failures
+            .iter()
+            .all(|f| f.kind == FailureKind::Failed && f.message == "always broken"));
+    }
+
+    #[test]
+    fn panicking_job_is_captured_and_quarantined() {
+        let jobs = vec![Job::new("boom", ())];
+        let mut opts = SuperviseOptions::quiet(1);
+        opts.retries = 0;
+        let report = supervise_jobs(jobs, &opts, |_: &()| -> Result<u32, String> {
+            panic!("kapow");
+        });
+        let q = &report.quarantined[0];
+        assert_eq!(q.failures[0].kind, FailureKind::Panicked);
+        assert!(q.failures[0].message.contains("kapow"));
+    }
+
+    #[test]
+    fn watchdog_abandons_a_hung_job_within_bounds() {
+        let mut opts = SuperviseOptions::quiet(2);
+        opts.timeout = Some(Duration::from_millis(50));
+        opts.retries = 1;
+        opts.backoff = Duration::from_millis(1);
+        let jobs = vec![Job::new("hung", true), Job::new("fine", false)];
+        let wall = Instant::now();
+        let report = supervise_jobs(jobs, &opts, |hang: &bool| {
+            if *hang {
+                std::thread::sleep(Duration::from_secs(30));
+            }
+            Ok(7u32)
+        });
+        let elapsed = wall.elapsed();
+        assert!(!report.is_complete());
+        assert_eq!(report.results[1], Some(7));
+        let q = &report.quarantined[0];
+        assert_eq!(q.label, "hung");
+        assert!(q.failures.iter().all(|f| f.kind == FailureKind::TimedOut));
+        // 2 attempts x 50ms + 1ms backoff + slack: far below the 30s
+        // sleep — the watchdog, not the job, bounded the wait.
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "watchdog failed to bound the wait: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn injected_panics_quarantine_and_completion_hook_fires() {
+        let jobs: Vec<Job<u32>> = (0..8).map(|i| Job::new(format!("j{i}"), i)).collect();
+        let mut opts = SuperviseOptions::quiet(2);
+        opts.retries = 0;
+        opts.faults = Some(FaultPlan::parse("panic:1.0@7").unwrap());
+        let completed = std::sync::Mutex::new(Vec::new());
+        let report = supervise_jobs_with(
+            jobs,
+            &opts,
+            |i| Ok(*i),
+            |index, _r| completed.lock().unwrap().push(index),
+        );
+        assert_eq!(report.quarantined.len(), 8, "panic:1.0 fails everything");
+        assert!(completed.lock().unwrap().is_empty());
+        assert!(report
+            .quarantined
+            .iter()
+            .all(|q| q.failures[0].message.contains("injected fault")));
+    }
+}

@@ -4,6 +4,31 @@ use serde::{Deserialize, Serialize};
 
 use crate::types::Cycle;
 
+/// A descriptive configuration-validation failure.
+///
+/// Produced by the non-panicking [`CacheConfig::check`] and
+/// [`MachineConfig::check`]; the message names the offending structure and
+/// parameter so a bad config is diagnosed before it panics deep in the
+/// pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+macro_rules! ensure {
+    ($cond:expr, $($msg:tt)+) => {
+        if !$cond {
+            return Err(ConfigError(format!($($msg)+)));
+        }
+    };
+}
+
 /// Geometry and timing of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheConfig {
@@ -25,20 +50,46 @@ impl CacheConfig {
         self.sets * self.ways * self.line_bytes
     }
 
+    /// Validates the geometry, naming the cache (`"L1D"`, ...) in any error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if sets, associativity or line size are not
+    /// powers of two, or any field is zero.
+    pub fn check(&self, name: &str) -> Result<(), ConfigError> {
+        ensure!(
+            self.sets > 0 && self.sets.is_power_of_two(),
+            "{name}: sets must be a power of two (got {})",
+            self.sets
+        );
+        ensure!(
+            self.line_bytes > 0 && self.line_bytes.is_power_of_two(),
+            "{name}: line size must be a power of two (got {})",
+            self.line_bytes
+        );
+        ensure!(
+            self.ways > 0,
+            "{name}: associativity must be positive (got 0)"
+        );
+        ensure!(
+            self.ways.is_power_of_two(),
+            "{name}: associativity must be a power of two (got {})",
+            self.ways
+        );
+        ensure!(self.mshrs > 0, "{name}: need at least one MSHR (got 0)");
+        Ok(())
+    }
+
     /// Validates the geometry.
     ///
     /// # Panics
     ///
-    /// Panics if sets or line size are not powers of two, or any field is
-    /// zero.
+    /// Panics with the [`CacheConfig::check`] message on any invalid
+    /// parameter.
     pub fn validate(&self) {
-        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(
-            self.line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
-        assert!(self.ways > 0, "associativity must be positive");
-        assert!(self.mshrs > 0, "need at least one MSHR");
+        if let Err(e) = self.check("cache") {
+            panic!("{e}");
+        }
     }
 }
 
@@ -264,40 +315,54 @@ impl Default for MachineConfig {
 }
 
 impl MachineConfig {
+    /// Validates every sub-structure, returning a descriptive error instead
+    /// of panicking deep in the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] on any inconsistent parameter (zero widths,
+    /// non-power-of-two cache geometry, retire width of zero, ...).
+    pub fn check(&self) -> Result<(), ConfigError> {
+        let p = &self.pipeline;
+        ensure!(p.fetch_width > 0, "fetch width must be positive");
+        ensure!(p.rename_width > 0, "rename width must be positive");
+        ensure!(p.issue_width > 0, "issue width must be positive");
+        ensure!(p.retire_width > 0, "retire width must be positive");
+        ensure!(p.rob_size > 0, "ROB must be non-empty");
+        ensure!(p.rs_size > 0, "RS must be non-empty");
+        ensure!(
+            p.load_buffer > 0 && p.store_buffer > 0,
+            "LSQ must be non-empty"
+        );
+        ensure!(
+            p.alu_units > 0 && p.load_ports > 0 && p.store_ports > 0,
+            "need at least one ALU, load port and store port"
+        );
+        self.l1i.check("L1I")?;
+        self.l1d.check("L1D")?;
+        self.l2.check("L2")?;
+        ensure!(
+            self.itlb.entries > 0 && self.dtlb.entries > 0,
+            "TLBs need entries"
+        );
+        ensure!(self.mem_latency > 0, "memory latency must be positive");
+        ensure!(
+            self.bus_cycles_per_transfer > 0,
+            "bus occupancy must be positive"
+        );
+        Ok(())
+    }
+
     /// Validates every sub-structure.
     ///
     /// # Panics
     ///
-    /// Panics on any inconsistent parameter (zero widths, non-power-of-two
-    /// cache geometry, retire width of zero, ...).
+    /// Panics with the [`MachineConfig::check`] message on any inconsistent
+    /// parameter.
     pub fn validate(&self) {
-        let p = &self.pipeline;
-        assert!(p.fetch_width > 0, "fetch width must be positive");
-        assert!(p.rename_width > 0, "rename width must be positive");
-        assert!(p.issue_width > 0, "issue width must be positive");
-        assert!(p.retire_width > 0, "retire width must be positive");
-        assert!(p.rob_size > 0, "ROB must be non-empty");
-        assert!(p.rs_size > 0, "RS must be non-empty");
-        assert!(
-            p.load_buffer > 0 && p.store_buffer > 0,
-            "LSQ must be non-empty"
-        );
-        assert!(
-            p.alu_units > 0 && p.load_ports > 0 && p.store_ports > 0,
-            "need at least one ALU, load port and store port"
-        );
-        self.l1i.validate();
-        self.l1d.validate();
-        self.l2.validate();
-        assert!(
-            self.itlb.entries > 0 && self.dtlb.entries > 0,
-            "TLBs need entries"
-        );
-        assert!(self.mem_latency > 0, "memory latency must be positive");
-        assert!(
-            self.bus_cycles_per_transfer > 0,
-            "bus occupancy must be positive"
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 
     /// A smaller, faster machine for unit tests: same structure, reduced
@@ -369,5 +434,30 @@ mod tests {
         let mut c = MachineConfig::default();
         c.pipeline.retire_width = 0;
         c.validate();
+    }
+
+    #[test]
+    fn check_names_the_offending_cache() {
+        let mut c = MachineConfig::default();
+        c.l1d.sets = 63;
+        let err = c.check().unwrap_err();
+        assert!(err.0.contains("L1D"), "got: {err}");
+        assert!(err.0.contains("63"), "got: {err}");
+    }
+
+    #[test]
+    fn non_power_of_two_associativity_is_rejected() {
+        let mut c = MachineConfig::default();
+        c.l2.ways = 12;
+        let err = c.check().unwrap_err();
+        assert!(err.0.contains("associativity"), "got: {err}");
+        assert!(err.0.contains("12"), "got: {err}");
+    }
+
+    #[test]
+    fn zero_cache_sets_are_rejected() {
+        let mut c = MachineConfig::default();
+        c.l1i.sets = 0;
+        assert!(c.check().is_err());
     }
 }

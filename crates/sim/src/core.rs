@@ -12,6 +12,7 @@
 use crate::backend::{EntryState, FuPool, Rob};
 use crate::config::MachineConfig;
 use crate::config::PredictorKind;
+use crate::error::SimError;
 use crate::frontend::{Bimodal, Btb, DirectionPredictor, FetchUnit, Gshare, Tournament};
 use crate::mem::Hierarchy;
 use crate::stats::MachineStats;
@@ -555,7 +556,7 @@ impl Machine {
 
     /// One step with fast-forward jumps clamped to `limit`, so a run
     /// never overshoots its requested end cycle.
-    fn step(&mut self, limit: Cycle) {
+    fn step(&mut self, limit: Cycle) -> Result<(), SimError> {
         let progress = self.tick();
         if !progress && self.cfg.fast_forward {
             match self.next_event() {
@@ -564,23 +565,70 @@ impl Machine {
                     self.stats.cycles = self.now;
                 }
                 Some(_) => {}
-                None => panic!(
-                    "machine wedged at cycle {}: no pipeline activity and no pending event \
-                     (thread {}, ROB {} entries)",
-                    self.now,
-                    self.current,
-                    self.rob.len()
-                ),
+                None => {
+                    return Err(SimError::Wedged {
+                        cycle: self.now,
+                        thread: self.current,
+                        rob_len: self.rob.len(),
+                    });
+                }
             }
         }
+        Ok(())
     }
 
     /// Runs for exactly `cycles` simulated cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine wedges (see [`Machine::try_run_cycles`] for
+    /// the non-panicking form).
     pub fn run_cycles(&mut self, cycles: Cycle) {
-        let end = self.now + cycles;
-        while self.now < end {
-            self.step(end);
+        if let Err(e) = self.try_run_cycles(cycles, None) {
+            panic!("{e}");
         }
+    }
+
+    /// Runs for exactly `cycles` simulated cycles, returning a structured
+    /// error instead of panicking, with an optional forward-progress
+    /// watchdog.
+    ///
+    /// With `stall_window = Some(w)`, the run fails with
+    /// [`SimError::Stalled`] if no instruction retires (on any thread) for
+    /// `w` consecutive cycles. Pick `w` far above the longest legitimate
+    /// stall — the 300-cycle memory latency plus TLB walks, bus queueing
+    /// and drain — so only a genuinely hung simulation trips it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Stalled`] on watchdog expiry, [`SimError::Wedged`] if
+    /// the machine provably cannot make progress again.
+    pub fn try_run_cycles(
+        &mut self,
+        cycles: Cycle,
+        stall_window: Option<Cycle>,
+    ) -> Result<(), SimError> {
+        let end = self.now + cycles;
+        let mut last_retired: InstrIndex = self.positions.iter().sum();
+        let mut last_progress = self.now;
+        while self.now < end {
+            self.step(end)?;
+            if let Some(window) = stall_window {
+                let retired: InstrIndex = self.positions.iter().sum();
+                if retired != last_retired {
+                    last_retired = retired;
+                    last_progress = self.now;
+                } else if self.now - last_progress >= window {
+                    return Err(SimError::Stalled {
+                        cycle: self.now,
+                        window,
+                        thread: self.current,
+                        retired,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Runs until every thread has committed at least `instrs` further
@@ -602,7 +650,9 @@ impl Machine {
                 max_cycles,
                 self.positions
             );
-            self.step(deadline);
+            if let Err(e) = self.step(deadline) {
+                panic!("{e}");
+            }
         }
     }
 }
@@ -839,6 +889,50 @@ mod tests {
         assert_eq!(m.position(ThreadId::new(0)), pos);
         m.run_cycles(1_000);
         assert!(m.position(ThreadId::new(0)) > pos);
+    }
+
+    #[test]
+    fn stall_detector_flags_no_retirement_within_window() {
+        // Every instruction misses to memory (100 cycles in test_config),
+        // so retirement gaps dwarf a 10-cycle window: the watchdog must
+        // trip deterministically.
+        let mut m = single(Box::new(MissEvery {
+            ipm: 1,
+            region: 0x100_0000,
+        }));
+        let err = m.try_run_cycles(50_000, Some(10)).unwrap_err();
+        match err {
+            SimError::Stalled { window, .. } => assert_eq!(window, 10),
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stall_detector_passes_a_healthy_run() {
+        let mut m = single(Box::new(MissEvery {
+            ipm: 8,
+            region: 0x100_0000,
+        }));
+        m.try_run_cycles(50_000, Some(10_000))
+            .expect("well above the longest legitimate stall");
+        assert!(m.stats().total_retired() > 0);
+    }
+
+    #[test]
+    fn try_run_cycles_matches_run_cycles() {
+        let run = |checked: bool| {
+            let mut m = single(Box::new(MissEvery {
+                ipm: 16,
+                region: 0x100_0000,
+            }));
+            if checked {
+                m.try_run_cycles(30_000, Some(20_000)).unwrap();
+            } else {
+                m.run_cycles(30_000);
+            }
+            (m.stats().total_retired(), m.now())
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

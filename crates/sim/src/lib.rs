@@ -47,6 +47,7 @@
 pub mod backend;
 pub mod config;
 mod core;
+mod error;
 pub mod frontend;
 pub mod mem;
 mod stats;
@@ -57,9 +58,10 @@ mod uop;
 
 pub use crate::core::Machine;
 pub use config::{
-    CacheConfig, MachineConfig, PipelineConfig, PredictorConfig, PredictorKind, SoeConfig,
-    TlbConfig,
+    CacheConfig, ConfigError, MachineConfig, PipelineConfig, PredictorConfig, PredictorKind,
+    SoeConfig, TlbConfig,
 };
+pub use error::SimError;
 pub use stats::{MachineStats, ThreadStats};
 pub use switch::{NeverSwitch, SwitchDecision, SwitchOnEvent, SwitchPolicy, SwitchReason};
 pub use trace::{AluTrace, PatternTrace, TraceSource};

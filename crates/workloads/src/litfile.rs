@@ -200,18 +200,24 @@ impl LitFile {
     ///
     /// # Errors
     ///
-    /// Propagates file-creation and write errors.
+    /// Propagates file-creation and write errors, naming the path.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        self.write_to(BufWriter::new(File::create(path)?))
+        let path = path.as_ref();
+        File::create(path)
+            .and_then(|f| self.write_to(BufWriter::new(f)))
+            .map_err(|e| io::Error::new(e.kind(), format!("saving LIT {}: {e}", path.display())))
     }
 
     /// Loads from `path`.
     ///
     /// # Errors
     ///
-    /// Propagates file-open and parse errors.
+    /// Propagates file-open and parse errors, naming the path.
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
-        Self::read_from(BufReader::new(File::open(path)?))
+        let path = path.as_ref();
+        File::open(path)
+            .and_then(|f| Self::read_from(BufReader::new(f)))
+            .map_err(|e| io::Error::new(e.kind(), format!("loading LIT {}: {e}", path.display())))
     }
 }
 
@@ -273,6 +279,23 @@ mod tests {
         let back = LitFile::load(&path).expect("load");
         assert_eq!(back, lit);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn io_errors_name_the_offending_path() {
+        let missing = std::env::temp_dir().join("soe-litfile-no-such-dir/missing.lit");
+        let err = LitFile::load(&missing).expect_err("load must fail");
+        assert!(
+            err.to_string().contains("missing.lit"),
+            "error lacks the path: {err}"
+        );
+        let lit = LitFile::record(&live(), 0, 16);
+        let unwritable = std::env::temp_dir().join("soe-litfile-no-such-dir/out.lit");
+        let err = lit.save(&unwritable).expect_err("save must fail");
+        assert!(
+            err.to_string().contains("out.lit"),
+            "error lacks the path: {err}"
+        );
     }
 
     #[test]

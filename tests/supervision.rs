@@ -1,0 +1,164 @@
+//! Crash-safety of the supervised experiment matrix: journaled resume
+//! reproduces bit-identical results after a simulated kill, injected
+//! faults quarantine instead of aborting, the watchdog bounds stalled
+//! runs, and configuration errors surface as structured failures.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use soe_bench::experiments::{run_matrix, run_matrix_supervised, MatrixOptions};
+use soe_core::runner::RunConfig;
+use soe_core::{FailureKind, FaultPlan};
+
+/// A matrix sizing small enough to run several times in one test binary
+/// while still exercising every phase (references, all pair levels).
+fn mini_cfg() -> RunConfig {
+    let mut cfg = RunConfig::quick();
+    cfg.warmup_cycles = 40_000;
+    cfg.measure_cycles = 120_000;
+    cfg.fairness.delta = 20_000;
+    cfg.fairness.max_cycles_quota = 8_000;
+    cfg.stall_window = Some(100_000);
+    cfg
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("soe-supervision-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts(journal: Option<&Path>, resume: bool) -> MatrixOptions {
+    let mut o = MatrixOptions::plain(3);
+    o.supervise.progress = false;
+    o.journal = journal.map(Path::to_path_buf);
+    o.resume = resume;
+    o
+}
+
+#[test]
+fn journaled_resume_is_byte_identical_after_simulated_kill() {
+    let cfg = mini_cfg();
+    let dir = tmp_dir("resume");
+    let journal = dir.join("journal.log");
+
+    // Fresh supervised+journaled run; must match the plain serial path
+    // byte for byte once serialized.
+    let fresh = run_matrix_supervised(&cfg, &opts(Some(&journal), false)).unwrap();
+    assert!(fresh.manifest.is_empty(), "{:?}", fresh.manifest);
+    assert_eq!(fresh.reused, 0);
+    let fresh_json = serde_json::to_string(&fresh.set).unwrap();
+    let serial_json = serde_json::to_string(&run_matrix(&cfg, 1)).unwrap();
+    assert_eq!(
+        fresh_json, serial_json,
+        "supervised matrix diverged from the plain serial path"
+    );
+
+    // Simulate SIGKILL mid-matrix: keep a prefix of the journal and a
+    // torn final line, exactly what a crash mid-append leaves behind.
+    let raw = std::fs::read(&journal).unwrap();
+    let lines: Vec<&[u8]> = raw
+        .split(|b| *b == b'\n')
+        .filter(|l| !l.is_empty())
+        .collect();
+    let total = lines.len();
+    let k = total / 3;
+    assert!(k > 0, "journal unexpectedly small: {total} lines");
+    let mut partial: Vec<u8> = Vec::new();
+    for line in &lines[..k] {
+        partial.extend_from_slice(line);
+        partial.push(b'\n');
+    }
+    partial.extend_from_slice(&lines[k][..lines[k].len() / 2]);
+    std::fs::write(&journal, &partial).unwrap();
+
+    // Resume: the k intact records replay from the journal, the torn
+    // line is dropped, the rest re-simulates — and the final JSON is
+    // byte-identical to the uninterrupted run.
+    let resumed = run_matrix_supervised(&cfg, &opts(Some(&journal), true)).unwrap();
+    assert!(resumed.manifest.is_empty(), "{:?}", resumed.manifest);
+    assert_eq!(
+        resumed.reused, k,
+        "every intact journal record must be reused"
+    );
+    assert_eq!(
+        resumed.executed,
+        total - k,
+        "only the lost runs re-simulate"
+    );
+    assert_eq!(
+        serde_json::to_string(&resumed.set).unwrap(),
+        fresh_json,
+        "resumed ResultSet must be byte-identical to the fresh run"
+    );
+}
+
+#[test]
+fn injected_panics_quarantine_the_matrix_instead_of_aborting() {
+    let cfg = mini_cfg();
+    let mut o = opts(None, false);
+    o.supervise.retries = 0;
+    o.supervise.faults = Some(FaultPlan::parse("panic:1.0@7").unwrap());
+    let outcome = run_matrix_supervised(&cfg, &o).unwrap();
+    // Every single-thread reference panics before simulating, so every
+    // pair run is skipped as a cascade — and the call still returns.
+    assert!(outcome.set.pairs.is_empty());
+    assert_eq!(outcome.manifest.quarantined.len(), 12);
+    assert_eq!(outcome.manifest.skipped.len(), 64);
+    assert!(outcome
+        .manifest
+        .quarantined
+        .iter()
+        .all(|q| q.failures[0].kind == FailureKind::Panicked
+            && q.failures[0].message.contains("injected fault")));
+    assert!(outcome
+        .manifest
+        .skipped
+        .iter()
+        .all(|s| s.reason.contains("reference")));
+}
+
+#[test]
+fn watchdog_bounds_stalled_runs() {
+    let cfg = mini_cfg();
+    let mut o = opts(None, false);
+    o.supervise.workers = 4;
+    o.supervise.retries = 0;
+    o.supervise.timeout = Some(Duration::from_millis(100));
+    o.supervise.faults = Some(FaultPlan::parse("stall:1.0,stall_ms:30000@1").unwrap());
+    let wall = Instant::now();
+    let outcome = run_matrix_supervised(&cfg, &o).unwrap();
+    let elapsed = wall.elapsed();
+    assert_eq!(outcome.manifest.quarantined.len(), 12);
+    assert!(outcome
+        .manifest
+        .quarantined
+        .iter()
+        .all(|q| q.failures[0].kind == FailureKind::TimedOut));
+    // 12 jobs on 4 workers at a 100 ms watchdog must come nowhere near
+    // the injected 30 s stalls.
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "watchdog failed to bound the matrix: {elapsed:?}"
+    );
+}
+
+#[test]
+fn invalid_configuration_is_a_structured_failure_not_a_panic() {
+    let mut cfg = mini_cfg();
+    cfg.machine.l1d.sets = 63; // not a power of two
+    let mut o = opts(None, false);
+    o.supervise.retries = 0;
+    let outcome = run_matrix_supervised(&cfg, &o).unwrap();
+    assert!(outcome.set.pairs.is_empty());
+    assert_eq!(outcome.manifest.quarantined.len(), 12);
+    for q in &outcome.manifest.quarantined {
+        assert_eq!(q.failures[0].kind, FailureKind::Failed);
+        assert!(
+            q.failures[0].message.contains("L1D"),
+            "error must name the offending cache: {}",
+            q.failures[0].message
+        );
+    }
+}
