@@ -19,7 +19,7 @@
 //! the watchdog) are quarantined into a [`FailureManifest`] and the
 //! rest of the matrix still completes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 
@@ -341,7 +341,7 @@ pub fn run_matrix_supervised(
             }
         }
     }
-    let mut singles: HashMap<&'static str, SingleRun> = HashMap::new();
+    let mut singles: BTreeMap<&'static str, SingleRun> = BTreeMap::new();
     let mut single_jobs: Vec<Job<&'static str>> = Vec::new();
     for name in &names {
         match replay(journal.as_ref(), opts.resume, &single_key(name)) {
@@ -385,7 +385,7 @@ pub fn run_matrix_supervised(
     // list so workers stay busy across pair boundaries. Pairs whose
     // references failed are skipped, not attempted with missing
     // denominators.
-    let mut runs: HashMap<String, PairRun> = HashMap::new();
+    let mut runs: BTreeMap<String, PairRun> = BTreeMap::new();
     let mut pair_jobs: Vec<Job<(usize, FairnessLevel)>> = Vec::new();
     for (index, pair) in pairs.iter().enumerate() {
         let missing: Vec<&str> = [pair.a, pair.b]

@@ -172,11 +172,14 @@ impl Estimator {
         );
         let mut window_instrs = Vec::with_capacity(samples.len());
         for (i, s) in samples.iter().enumerate() {
+            // soe-lint: allow(slice-index): the assert above pins samples.len() to the per-thread vector lengths
             let window = s.since(&self.last_sample[i]);
             window_instrs.push(window.instrs);
             if window.instrs > 0 && window.cycles > 0 {
+                // soe-lint: allow(slice-index): the assert above pins samples.len() to the per-thread vector lengths
                 self.estimates[i] = Some(estimate_thread(window, self.miss_lat));
             }
+            // soe-lint: allow(slice-index): the assert above pins samples.len() to the per-thread vector lengths
             self.last_sample[i] = *s;
         }
         let effective: Vec<ThreadEstimate> = self

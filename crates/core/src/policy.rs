@@ -89,6 +89,23 @@ impl FairnessConfig {
         if self.miss_lat <= 0.0 {
             return fail("miss latency must be positive".into());
         }
+        if self.deficit_cap < 1.0 {
+            return fail(format!(
+                "deficit cap must be at least 1.0 quota (got {}); a smaller \
+                 cap forgives deficit faster than it accrues",
+                self.deficit_cap
+            ));
+        }
+        // No invariant to enforce: every FairnessLevel target is a legal
+        // enforcement setting (0 disables), both latency modes are valid,
+        // a zero quota floor disables the stabilizer, and history
+        // recording only affects memory use.
+        let _ = (
+            self.target,
+            self.miss_lat_mode,
+            self.min_quota_cycles,
+            self.record_history,
+        );
         Ok(())
     }
 
@@ -100,6 +117,7 @@ impl FairnessConfig {
     /// parameter.
     pub fn validate(&self, threads: usize) {
         if let Err(e) = self.check(threads) {
+            // soe-lint: allow(panic-macro): documented panicking wrapper; callers wanting errors use check()
             panic!("{e}");
         }
     }
@@ -232,16 +250,21 @@ impl SwitchPolicy for FairnessPolicy {
 
     fn on_switch_in(&mut self, tid: ThreadId, now: Cycle) {
         self.switch_in_at = now;
+        // soe-lint: allow(slice-index): per-thread vectors are sized to the thread count at construction
         self.counters[tid.index()].on_switch_in();
+        // soe-lint: allow(slice-index): per-thread vectors are sized to the thread count at construction
         self.deficits[tid.index()].on_switch_in();
     }
 
     fn on_switch_out(&mut self, tid: ThreadId, now: Cycle, reason: SwitchReason) {
+        // soe-lint: allow(slice-index): per-thread vectors are sized to the thread count at construction
         self.counters[tid.index()].on_switch_out(now, reason);
     }
 
     fn after_retire(&mut self, tid: ThreadId, now: Cycle) -> SwitchDecision {
+        // soe-lint: allow(slice-index): per-thread vectors are sized to the thread count at construction
         self.counters[tid.index()].after_retire(now);
+        // soe-lint: allow(slice-index): per-thread vectors are sized to the thread count at construction
         if self.deficits[tid.index()].on_retire() {
             self.forced_by_deficit += 1;
             SwitchDecision::Switch

@@ -149,6 +149,7 @@ where
         .filter_map(|r| r.as_err().map(ToString::to_string))
         .collect();
     if !failures.is_empty() {
+        // soe-lint: allow(panic-macro): documented panicking wrapper; callers wanting errors use try_run_jobs
         panic!(
             "{} job(s) failed:\n  {}",
             failures.len(),
@@ -159,6 +160,7 @@ where
         .into_iter()
         .map(|r| match r {
             Ok(v) => v,
+            // soe-lint: allow(panic-macro): the failures check above already aborted on any Err
             Err(_) => unreachable!("failures checked above"),
         })
         .collect()
@@ -206,6 +208,7 @@ where
             scope.spawn(move || loop {
                 let index = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(index) else { break };
+                // soe-lint: allow(wall-clock): measures host wall-time per job for ETA display, never simulated state
                 let start = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| f(&job.payload)))
                     .map_err(|payload| panic_message(&*payload));
@@ -220,9 +223,12 @@ where
         // message per job, preserves submission order via the index.
         let mut progress = Progress::new(total, opts.progress);
         for (index, took, outcome) in rx {
+            // soe-lint: allow(slice-index): workers only send indexes they got from jobs.get()
             progress.completed(&jobs[index].label, took);
+            // soe-lint: allow(slice-index): results was sized to jobs.len() above
             results[index] = Some(outcome.map_err(|message| JobError {
                 index,
+                // soe-lint: allow(slice-index): workers only send indexes they got from jobs.get()
                 label: jobs[index].label.clone(),
                 message,
             }));
@@ -231,6 +237,7 @@ where
 
     results
         .into_iter()
+        // soe-lint: allow(panic-unwrap): the collector loop stores exactly one outcome per job before the scope ends
         .map(|slot| slot.expect("every job sends exactly one result"))
         .collect()
 }
@@ -246,6 +253,7 @@ fn run_serial<P, R>(
     jobs.iter()
         .enumerate()
         .map(|(index, job)| {
+            // soe-lint: allow(wall-clock): measures host wall-time per job for ETA display, never simulated state
             let start = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| f(&job.payload)));
             reporter.completed(&job.label, start.elapsed());
@@ -284,6 +292,7 @@ impl Progress {
             total,
             done: 0,
             spent: Duration::ZERO,
+            // soe-lint: allow(wall-clock): progress/ETA reporting only, never simulated state
             started: Instant::now(),
             enabled,
         }

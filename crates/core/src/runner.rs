@@ -84,6 +84,7 @@ impl RunConfig {
 /// Panics on an invalid configuration, a wedged machine, or a tripped
 /// stall watchdog; [`try_run_single`] is the non-panicking form.
 pub fn run_single(trace: Box<dyn TraceSource>, cfg: &RunConfig) -> SingleRun {
+    // soe-lint: allow(panic-macro): documented panicking wrapper; callers wanting errors use try_run_single
     try_run_single(trace, cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -110,7 +111,7 @@ pub fn try_run_single(trace: Box<dyn TraceSource>, cfg: &RunConfig) -> Result<Si
     let start = m.now();
     m.try_run_cycles(cfg.measure_cycles, cfg.stall_window)?;
     let cycles = m.now() - start;
-    let retired = m.stats().threads[0].retired;
+    let retired = m.stats().threads.first().map_or(0, |t| t.retired);
     let h = m.hierarchy().stats();
     let l2_misses = h.data_l2_misses + h.walk_l2_misses - miss_before;
     Ok(SingleRun {
@@ -137,6 +138,7 @@ pub fn run_pair_with_policy(
     cfg: &RunConfig,
     target: Option<FairnessLevel>,
 ) -> PairRun {
+    // soe-lint: allow(panic-macro): documented panicking wrapper; callers wanting errors use the try_ form
     try_run_pair_with_policy(pair, policy, singles, cfg, target).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -183,7 +185,7 @@ pub fn try_run_pair_with_policy(
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            let retired = stats.threads[i].retired;
+            let retired = stats.threads.get(i).map_or(0, |t| t.retired);
             let ipc_soe = retired as f64 / cycles as f64;
             ThreadOutcome {
                 name: s.name.clone(),
@@ -218,6 +220,7 @@ pub fn try_run_pair_with_policy(
 /// Runs `pair` under the paper's fairness mechanism at target `f`
 /// (`F = 0` gives event-only SOE with estimation enabled).
 pub fn run_pair(pair: &Pair, f: FairnessLevel, singles: &[SingleRun], cfg: &RunConfig) -> PairRun {
+    // soe-lint: allow(panic-macro): documented panicking wrapper; callers wanting errors use the try_ form
     try_run_pair(pair, f, singles, cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -293,7 +296,7 @@ pub fn run_multi(
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            let retired = stats.threads[i].retired;
+            let retired = stats.threads.get(i).map_or(0, |t| t.retired);
             let ipc_soe = retired as f64 / cycles as f64;
             ThreadOutcome {
                 name: s.name.clone(),

@@ -28,7 +28,7 @@
 //!   so all of the above is exercised in tests and CI chaos runs, not
 //!   just during real incidents.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -120,7 +120,9 @@ pub struct JournalRecovery {
 pub struct Journal {
     path: PathBuf,
     file: std::fs::File,
-    entries: HashMap<String, String>,
+    // BTreeMap so any future iteration over entries is ordered; replay
+    // order is carried separately by `order` (insertion sequence).
+    entries: BTreeMap<String, String>,
     order: Vec<String>,
     recovery: JournalRecovery,
 }
@@ -148,7 +150,7 @@ impl Journal {
                 ));
             }
         };
-        let mut entries = HashMap::new();
+        let mut entries = BTreeMap::new();
         let mut order: Vec<String> = Vec::new();
         let mut recovery = JournalRecovery::default();
         for line in raw.split(|b| *b == b'\n') {
@@ -170,7 +172,9 @@ impl Journal {
             // the next crash-recovery starts from a clean file.
             let mut clean = Vec::new();
             for key in &order {
-                Self::encode_line(&mut clean, key, &entries[key]);
+                if let Some(payload) = entries.get(key) {
+                    Self::encode_line(&mut clean, key, payload);
+                }
             }
             atomic_write(&path, &clean)?;
         }
@@ -544,6 +548,7 @@ impl<R> SuperviseReport<R> {
     pub fn expect_complete(self) -> Vec<R> {
         if !self.is_complete() {
             let lines: Vec<String> = self.quarantined.iter().map(ToString::to_string).collect();
+            // soe-lint: allow(panic-macro): documented panicking accessor; callers wanting errors inspect the report
             panic!(
                 "{} job(s) quarantined:\n  {}",
                 lines.len(),
@@ -552,6 +557,7 @@ impl<R> SuperviseReport<R> {
         }
         self.results
             .into_iter()
+            // soe-lint: allow(panic-unwrap): is_complete() above guarantees every slot is filled
             .map(|r| r.expect("complete report has every result"))
             .collect()
     }
@@ -630,6 +636,7 @@ where
                 if index >= jobs.len() {
                     break;
                 }
+                // soe-lint: allow(wall-clock): host wall-time for the stall watchdog and ETA, never simulated state
                 let start = Instant::now();
                 let outcome = supervise_one(&jobs, index, &f, &opts);
                 if tx.send((index, start.elapsed(), outcome)).is_err() {
@@ -641,10 +648,12 @@ where
 
         let mut progress = Progress::new(total, opts.progress);
         for (index, took, outcome) in rx {
+            // soe-lint: allow(slice-index): workers only send indexes below jobs.len()
             progress.completed(&jobs[index].label, took);
             match outcome {
                 Ok(r) => {
                     on_complete(index, &r);
+                    // soe-lint: allow(slice-index): results was sized to jobs.len() above
                     results[index] = Some(r);
                 }
                 Err(q) => {
@@ -678,6 +687,7 @@ where
     R: Send + 'static,
     F: Fn(&P) -> Result<R, String> + Send + Sync + 'static,
 {
+    // soe-lint: allow(slice-index): supervise_jobs only passes indexes below jobs.len()
     let label = jobs[index].label.clone();
     let mut failures: Vec<JobFailure> = Vec::new();
     for attempt in 1..=opts.retries.saturating_add(1) {
@@ -697,9 +707,11 @@ where
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     match fault {
                         Fault::None => {}
+                        // soe-lint: allow(panic-macro): deliberate fault injection for chaos testing; caught by the harness
                         Fault::Panic => panic!("injected fault: panic (attempt {attempt})"),
                         Fault::Stall(d) => std::thread::sleep(d),
                     }
+                    // soe-lint: allow(slice-index): supervise_jobs only passes indexes below jobs.len()
                     f(&jobs[index].payload)
                 }));
                 let _ = tx.send(match outcome {
@@ -783,7 +795,7 @@ mod tests {
         let mut raw = std::fs::read(&path).unwrap();
         let full_len = raw.len();
         raw.extend_from_slice(b"0123456789abcdef c 3-but-the-line-is-t");
-        std::fs::write(&path, &raw).unwrap();
+        atomic_write(&path, &raw).unwrap();
         let j = Journal::open(&path).unwrap();
         assert_eq!(j.len(), 2);
         assert_eq!(j.recovery().dropped, 1);
@@ -806,7 +818,7 @@ mod tests {
         // Flip a bit inside the first record's payload.
         let pos = 20;
         raw[pos] ^= 0x01;
-        std::fs::write(&path, &raw).unwrap();
+        atomic_write(&path, &raw).unwrap();
         let j = Journal::open(&path).unwrap();
         assert_eq!(j.recovery().dropped, 1);
         assert_eq!(j.get("a"), None, "corrupt record must not surface");

@@ -19,6 +19,7 @@ pub fn estimated_ipc_st_series(records: &[WindowRecord], names: &[&str]) -> Vec<
         .map(|(i, name)| {
             let mut ts = TimeSeries::new(format!("est_ipc_st[{name}]"));
             for r in records {
+                // soe-lint: allow(slice-index): check() pins every record's per-thread lengths to names.len()
                 ts.push(r.at as f64, r.estimates[i].ipc_st);
             }
             ts
@@ -55,7 +56,9 @@ pub fn speedup_series(
         .map(|(i, name)| {
             let mut ts = TimeSeries::new(format!("speedup[{name}]"));
             for r in records {
+                // soe-lint: allow(slice-index): check() pins every record's per-thread lengths to names.len()
                 let ipc = r.window_instrs[i] as f64 / r.window_cycles.max(1) as f64;
+                // soe-lint: allow(slice-index): i < names.len() == ipc_st_real.len() (asserted above)
                 ts.push(r.at as f64, ipc / ipc_st_real[i]);
             }
             ts
@@ -76,6 +79,7 @@ pub fn fairness_series(records: &[WindowRecord], ipc_st_real: &[f64]) -> TimeSer
         let speedups: Vec<f64> = ipc_st_real
             .iter()
             .enumerate()
+            // soe-lint: allow(slice-index): check() pins every record's per-thread lengths to the thread count
             .map(|(i, st)| (r.window_instrs[i] as f64 / r.window_cycles.max(1) as f64) / st)
             .collect();
         ts.push(r.at as f64, fairness_of(&speedups));
@@ -86,6 +90,11 @@ pub fn fairness_series(records: &[WindowRecord], ipc_st_real: &[f64]) -> TimeSer
 fn check(records: &[WindowRecord], threads: usize) {
     for r in records {
         assert_eq!(r.estimates.len(), threads, "record thread count mismatch");
+        assert_eq!(
+            r.window_instrs.len(),
+            threads,
+            "record thread count mismatch"
+        );
     }
 }
 

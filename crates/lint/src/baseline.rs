@@ -1,0 +1,189 @@
+//! The checked-in baseline: grandfathered findings that predate a rule.
+//!
+//! Format (diff-friendly plain text, one entry per line):
+//!
+//! ```text
+//! # comment
+//! rule-id path/to/file.rs count
+//! ```
+//!
+//! Up to `count` findings of `rule-id` in that file are waived as
+//! [`Waiver::Baselined`]; any excess counts against the run, so the
+//! baseline ratchets: new violations in a baselined file still fail.
+//! Entries that no longer match anything are reported as stale so the
+//! baseline shrinks over time instead of rotting.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Finding, Waiver};
+
+/// Parsed baseline: (rule, file) -> allowed count.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Parses the baseline text. Unparseable lines are returned as
+    /// errors (line number, content) rather than silently dropped — a
+    /// corrupt baseline must not quietly widen the gate.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (n, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(path), Some(count), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected `rule path count`, got `{line}`",
+                    n + 1
+                ));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: count `{count}` is not a number", n + 1))?;
+            *entries
+                .entry((rule.to_string(), path.to_string()))
+                .or_insert(0) += count;
+        }
+        Ok(Self { entries })
+    }
+
+    /// Marks up to the baselined count of matching findings as waived.
+    /// Findings must already be in their final (deterministic) order so
+    /// that *which* findings get waived is stable run-to-run.
+    ///
+    /// Returns the stale entries: (rule, file) pairs whose allowance was
+    /// not fully consumed.
+    pub fn apply(&self, findings: &mut [Finding]) -> Vec<(String, String, usize)> {
+        let mut remaining = self.entries.clone();
+        for f in findings.iter_mut() {
+            if f.waiver != Waiver::None {
+                continue;
+            }
+            let key = (f.rule.to_string(), f.file.clone());
+            if let Some(left) = remaining.get_mut(&key) {
+                if *left > 0 {
+                    *left -= 1;
+                    f.waiver = Waiver::Baselined;
+                }
+            }
+        }
+        remaining
+            .into_iter()
+            .filter(|(_, left)| *left > 0)
+            .map(|((rule, file), left)| (rule, file, left))
+            .collect()
+    }
+
+    /// Regenerates baseline text from the current unwaived findings
+    /// (`--update-baseline`). Suppressed findings are excluded: an
+    /// inline allow is already a durable waiver.
+    pub fn regenerate(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+        for f in findings {
+            if f.waiver == Waiver::Suppressed {
+                continue;
+            }
+            *counts.entry((f.rule, f.file.as_str())).or_insert(0) += 1;
+        }
+        let mut out = String::from(
+            "# soe-lint baseline: grandfathered findings, one `rule path count` per line.\n\
+             # Regenerate with `cargo run -p soe-lint -- --update-baseline`.\n\
+             # The gate ratchets: findings beyond a file's count still fail the run.\n",
+        );
+        for ((rule, file), count) in counts {
+            out.push_str(&format!("{rule} {file} {count}\n"));
+        }
+        out
+    }
+
+    /// Number of distinct (rule, file) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            file: file.to_string(),
+            line,
+            message: "m".into(),
+            hint: "h",
+            waiver: Waiver::None,
+        }
+    }
+
+    #[test]
+    fn parse_apply_waives_up_to_count_and_reports_stale() {
+        let b = Baseline::parse(
+            "# header\n\
+             panic-unwrap crates/sim/src/a.rs 2\n\
+             slice-index crates/sim/src/b.rs 5\n",
+        )
+        .unwrap();
+        let mut fs = vec![
+            finding("panic-unwrap", "crates/sim/src/a.rs", 1),
+            finding("panic-unwrap", "crates/sim/src/a.rs", 2),
+            finding("panic-unwrap", "crates/sim/src/a.rs", 3), // beyond count
+            finding("slice-index", "crates/sim/src/c.rs", 1),  // not baselined
+        ];
+        let stale = b.apply(&mut fs);
+        assert_eq!(fs[0].waiver, Waiver::Baselined);
+        assert_eq!(fs[1].waiver, Waiver::Baselined);
+        assert_eq!(fs[2].waiver, Waiver::None, "ratchet: excess still fails");
+        assert_eq!(fs[3].waiver, Waiver::None);
+        assert_eq!(
+            stale,
+            vec![("slice-index".into(), "crates/sim/src/b.rs".into(), 5)]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Baseline::parse("panic-unwrap crates/sim/src/a.rs\n").is_err());
+        assert!(Baseline::parse("panic-unwrap crates/sim/src/a.rs two\n").is_err());
+        assert!(Baseline::parse("a b 1 extra\n").is_err());
+        assert!(Baseline::parse("\n# only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn regenerate_round_trips_through_parse() {
+        let fs = vec![
+            finding("panic-unwrap", "crates/sim/src/a.rs", 1),
+            finding("panic-unwrap", "crates/sim/src/a.rs", 9),
+            finding("slice-index", "crates/sim/src/b.rs", 4),
+        ];
+        let text = Baseline::regenerate(&fs);
+        let b = Baseline::parse(&text).unwrap();
+        assert_eq!(b.len(), 2);
+        let mut fs2 = fs.clone();
+        let stale = b.apply(&mut fs2);
+        assert!(stale.is_empty());
+        assert!(fs2.iter().all(|f| f.waiver == Waiver::Baselined));
+    }
+
+    #[test]
+    fn regenerate_excludes_suppressed_findings() {
+        let mut f = finding("panic-unwrap", "crates/sim/src/a.rs", 1);
+        f.waiver = Waiver::Suppressed;
+        let text = Baseline::regenerate(&[f]);
+        assert!(Baseline::parse(&text).unwrap().is_empty());
+    }
+}

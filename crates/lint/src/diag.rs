@@ -1,0 +1,226 @@
+//! Findings and diagnostic output (human-readable and JSON).
+
+use std::fmt;
+
+/// How severe a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, but does not fail the run — heuristic rules whose
+    /// false-positive rate is inherently nonzero.
+    Warning,
+    /// Fails the run (unless suppressed or baselined).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Why a finding is not counted against the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Waiver {
+    /// Counted: nothing waives it.
+    None,
+    /// An inline `// soe-lint: allow(rule)` comment covers it.
+    Suppressed,
+    /// The checked-in baseline grandfathers it.
+    Baselined,
+}
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule id (e.g. `panic-unwrap`).
+    pub rule: &'static str,
+    /// Severity of the rule.
+    pub severity: Severity,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+    /// Whether (and why) the finding is waived.
+    pub waiver: Waiver,
+}
+
+impl Finding {
+    /// Whether this finding should fail the run.
+    pub fn counts_as_error(&self) -> bool {
+        self.severity == Severity::Error && self.waiver == Waiver::None
+    }
+}
+
+/// Aggregate counts over a run's findings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Unwaived errors (nonzero fails the run).
+    pub errors: usize,
+    /// Unwaived warnings.
+    pub warnings: usize,
+    /// Findings waived by inline suppressions.
+    pub suppressed: usize,
+    /// Findings waived by the baseline file.
+    pub baselined: usize,
+    /// Files scanned.
+    pub files: usize,
+}
+
+/// Computes the summary for `findings` over `files` scanned files.
+pub fn summarize(findings: &[Finding], files: usize) -> Summary {
+    let mut s = Summary {
+        files,
+        ..Summary::default()
+    };
+    for f in findings {
+        match f.waiver {
+            Waiver::Suppressed => s.suppressed += 1,
+            Waiver::Baselined => s.baselined += 1,
+            Waiver::None => match f.severity {
+                Severity::Error => s.errors += 1,
+                Severity::Warning => s.warnings += 1,
+            },
+        }
+    }
+    s
+}
+
+/// Renders findings for a terminal. Waived findings are shown only with
+/// `verbose`.
+pub fn render_text(findings: &[Finding], summary: Summary, verbose: bool) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let tag = match f.waiver {
+            Waiver::None => f.severity.to_string(),
+            Waiver::Suppressed => "allowed".to_string(),
+            Waiver::Baselined => "baselined".to_string(),
+        };
+        if f.waiver != Waiver::None && !verbose {
+            continue;
+        }
+        out.push_str(&format!(
+            "{}:{}: {tag}[{}]: {}\n    fix: {}\n",
+            f.file, f.line, f.rule, f.message, f.hint
+        ));
+    }
+    out.push_str(&format!(
+        "soe-lint: {} file(s): {} error(s), {} warning(s), {} suppressed, {} baselined\n",
+        summary.files, summary.errors, summary.warnings, summary.suppressed, summary.baselined
+    ));
+    out
+}
+
+/// Renders findings as a single JSON document (machine-readable CI
+/// output). Hand-rolled: the lint gate stays dependency-free.
+pub fn render_json(findings: &[Finding], summary: Summary) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \
+             \"message\": {}, \"hint\": {}, \"waiver\": {}}}",
+            json_str(f.rule),
+            json_str(&f.severity.to_string()),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message),
+            json_str(f.hint),
+            json_str(match f.waiver {
+                Waiver::None => "none",
+                Waiver::Suppressed => "suppressed",
+                Waiver::Baselined => "baselined",
+            }),
+        ));
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"summary\": {{\"files\": {}, \"errors\": {}, \"warnings\": {}, \
+         \"suppressed\": {}, \"baselined\": {}}}\n}}\n",
+        summary.files, summary.errors, summary.warnings, summary.suppressed, summary.baselined
+    ));
+    out
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, waiver: Waiver, severity: Severity) -> Finding {
+        Finding {
+            rule,
+            severity,
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            message: "a \"quoted\" message".into(),
+            hint: "do the thing",
+            waiver,
+        }
+    }
+
+    #[test]
+    fn summary_buckets_by_waiver_and_severity() {
+        let fs = vec![
+            finding("a", Waiver::None, Severity::Error),
+            finding("b", Waiver::None, Severity::Warning),
+            finding("c", Waiver::Suppressed, Severity::Error),
+            finding("d", Waiver::Baselined, Severity::Error),
+        ];
+        let s = summarize(&fs, 7);
+        assert_eq!(
+            (s.errors, s.warnings, s.suppressed, s.baselined, s.files),
+            (1, 1, 1, 1, 7)
+        );
+    }
+
+    #[test]
+    fn json_output_escapes_and_parses_shape() {
+        let fs = vec![finding("a", Waiver::None, Severity::Error)];
+        let json = render_json(&fs, summarize(&fs, 1));
+        assert!(json.contains(r#"\"quoted\""#));
+        assert!(json.contains("\"errors\": 1"));
+        // Balanced braces/brackets (cheap structural sanity).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn text_output_hides_waived_unless_verbose() {
+        let fs = vec![
+            finding("a", Waiver::None, Severity::Error),
+            finding("b", Waiver::Suppressed, Severity::Error),
+        ];
+        let s = summarize(&fs, 1);
+        let quiet = render_text(&fs, s, false);
+        assert!(quiet.contains("error[a]"));
+        assert!(!quiet.contains("allowed[b]"));
+        let loud = render_text(&fs, s, true);
+        assert!(loud.contains("allowed[b]"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Orchestration: walk the workspace, run every rule over every file,
+//! apply suppressions and the baseline, and return findings in a
+//! deterministic order.
+
+use std::path::{Path, PathBuf};
+
+use crate::baseline::Baseline;
+use crate::diag::{Finding, Waiver};
+use crate::rules::{all_rules, Rule};
+use crate::source::SourceFile;
+use crate::suppress::parse_suppressions;
+
+/// Directories never descended into, at any depth.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "results", ".git", ".github"];
+
+/// Result of one full analysis pass.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All findings (including waived ones), sorted by (file, line,
+    /// rule).
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files: usize,
+    /// Stale baseline entries: (rule, file, unused count).
+    pub stale_baseline: Vec<(String, String, usize)>,
+}
+
+impl Analysis {
+    /// Whether the run should fail (any unwaived error-severity
+    /// finding).
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(Finding::counts_as_error)
+    }
+}
+
+/// Analyzes one file's content against `rules`, applying inline
+/// suppressions (but not the baseline — that is a workspace-level
+/// concern). Public so tests can lint fixture strings directly.
+pub fn analyze_source(path: &str, content: &str, rules: &[Rule]) -> Vec<Finding> {
+    let file = SourceFile::parse(path, content);
+    let suppressions = parse_suppressions(&file.comments);
+    let mut findings = Vec::new();
+    for rule in rules {
+        for mut f in rule.check(&file) {
+            if suppressions.iter().any(|s| s.covers(f.rule, f.line)) {
+                f.waiver = Waiver::Suppressed;
+            }
+            findings.push(f);
+        }
+    }
+    findings
+}
+
+/// Lists every `.rs` file under `root` that the lint pass covers, as
+/// workspace-relative `/`-separated paths, sorted (the walk order is
+/// part of the tool's determinism contract).
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.clone());
+        }
+    }
+    Ok(())
+}
+
+/// Converts an absolute path under `root` to the workspace-relative
+/// `/`-separated form used in findings, suppressible baselines and
+/// diagnostics.
+pub fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}
+
+/// Runs the full pass over the workspace at `root`.
+pub fn analyze_workspace(root: &Path, baseline: &Baseline) -> std::io::Result<Analysis> {
+    analyze_workspace_filtered(root, baseline, None)
+}
+
+/// Like [`analyze_workspace`] but optionally restricted to one rule id
+/// (`--rule`).
+pub fn analyze_workspace_filtered(
+    root: &Path,
+    baseline: &Baseline,
+    only_rule: Option<&str>,
+) -> std::io::Result<Analysis> {
+    let mut rules = all_rules();
+    if let Some(id) = only_rule {
+        rules.retain(|r| r.id == id);
+    }
+    let paths = workspace_files(root)?;
+    let mut findings = Vec::new();
+    for path in &paths {
+        let rel = relative_path(root, path);
+        let content = std::fs::read_to_string(path)?;
+        findings.extend(analyze_source(&rel, &content, &rules));
+    }
+    // Deterministic order before the baseline consumes allowances, so
+    // which findings get grandfathered is stable run-to-run.
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let stale_baseline = baseline.apply(&mut findings);
+    Ok(Analysis {
+        findings,
+        files: paths.len(),
+        stale_baseline,
+    })
+}
+
+/// Returns the rule with id `id`, if any (CLI validation).
+pub fn rule_exists(id: &str) -> bool {
+    all_rules().iter().any(|r| r.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn analyze_source_applies_suppressions() {
+        let src = "fn f() {\n\
+                   // soe-lint: allow(panic-unwrap): invariant: always Some here\n\
+                   x.unwrap();\n\
+                   y.unwrap();\n\
+                   }\n";
+        let findings = analyze_source("crates/sim/src/x.rs", src, &all_rules());
+        let unwraps: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == "panic-unwrap")
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert_eq!(
+            unwraps[0].waiver,
+            Waiver::Suppressed,
+            "covered by line above"
+        );
+        assert_eq!(unwraps[1].waiver, Waiver::None, "one allow covers one line");
+    }
+
+    #[test]
+    fn suppression_does_not_cover_other_rules() {
+        let src = "fn f() {\n\
+                   // soe-lint: allow(slice-index): wrong rule\n\
+                   x.unwrap();\n\
+                   }\n";
+        let findings = analyze_source("crates/sim/src/x.rs", src, &all_rules());
+        let f = findings.iter().find(|f| f.rule == "panic-unwrap").unwrap();
+        assert_eq!(f.waiver, Waiver::None);
+    }
+
+    #[test]
+    fn severities_survive_the_pipeline() {
+        let src = "fn f() { let mut m = HashMap::new(); for k in &m {} }";
+        let findings = analyze_source("crates/bench/src/x.rs", src, &all_rules());
+        let it = findings
+            .iter()
+            .find(|f| f.rule == "unordered-iteration")
+            .unwrap();
+        assert_eq!(it.severity, Severity::Warning);
+        assert!(!it.counts_as_error());
+    }
+}

@@ -1,0 +1,490 @@
+//! A small, dependency-free Rust lexer.
+//!
+//! `soe-lint` does not need a full parser: every rule it enforces can be
+//! phrased over a token stream plus a little local context (previous /
+//! next token, brace depth, attribute adjacency). The lexer therefore
+//! only has to get the *hard* part of Rust's lexical grammar right —
+//! the places where naive substring matching lies:
+//!
+//! - strings (plain, raw `r#"…"#`, byte, byte-raw) so that
+//!   `"call unwrap() here"` in a message is not a finding,
+//! - comments (line, nested block, doc) so that code examples in docs
+//!   are not findings — and so suppression comments can be collected,
+//! - char literals vs lifetimes (`'a'` vs `'a`),
+//! - numeric literals with suffixes and `..` ranges (`0..10` must not
+//!   swallow the dots).
+//!
+//! Tokens carry 1-based line numbers for diagnostics.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `fn`, `HashMap`).
+    Ident,
+    /// A single punctuation character (`.`, `[`, `!`, `:` — multi-char
+    /// operators arrive as consecutive tokens).
+    Punct,
+    /// A string, char, byte or numeric literal (contents opaque).
+    Literal,
+    /// A lifetime (`'a`) — kept distinct so char-literal handling never
+    /// confuses the two.
+    Lifetime,
+}
+
+/// One lexeme with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The kind of lexeme.
+    pub kind: TokenKind,
+    /// The token text (for [`TokenKind::Literal`], the raw literal
+    /// including quotes; rules never inspect literal interiors).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the exact punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is the exact identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// A comment with its source position, collected for suppression
+/// scanning (`// soe-lint: allow(rule): reason`).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// The comment text, including the `//` or `/*` markers.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source into tokens and comments. Invalid input never
+/// panics: unrecognized bytes are skipped, unterminated literals run to
+/// end of input — a linter must degrade gracefully on the code it is
+/// about to complain about.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let start_line = self.line;
+            let b = self.src[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(start_line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(start_line),
+                b'"' => self.string(self.pos, start_line),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                b'\'' => self.char_or_lifetime(start_line),
+                b'0'..=b'9' => self.number(start_line),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(start_line),
+                _ => {
+                    let ch_len = utf8_len(b);
+                    let text = self.slice(self.pos, self.pos + ch_len);
+                    self.pos += ch_len;
+                    self.push(TokenKind::Punct, text, start_line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn slice(&self, from: usize, to: usize) -> String {
+        String::from_utf8_lossy(&self.src[from..to.min(self.src.len())]).into_owned()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn count_newlines(&mut self, from: usize, to: usize) {
+        self.line += self.src[from..to.min(self.src.len())]
+            .iter()
+            .filter(|b| **b == b'\n')
+            .count() as u32;
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let text = self.slice(start, self.pos);
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.pos;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                if self.src[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        let text = self.slice(start, self.pos);
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`; returns
+    /// false (consuming nothing) when the `r`/`b` starts a plain
+    /// identifier instead.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let start = self.pos;
+        let line = self.line;
+        let mut p = self.pos;
+        if self.src[p] == b'b' {
+            p += 1;
+        }
+        let mut raw = false;
+        if self.src.get(p) == Some(&b'r') {
+            raw = true;
+            p += 1;
+        }
+        let mut hashes = 0usize;
+        while raw && self.src.get(p) == Some(&b'#') {
+            hashes += 1;
+            p += 1;
+        }
+        match self.src.get(p) {
+            Some(b'"') => {}
+            Some(b'\'') if !raw && self.src[start] == b'b' => {
+                // Byte char literal b'x'.
+                self.pos = p;
+                self.char_or_lifetime(line);
+                let text = self.slice(start, self.pos);
+                if let Some(last) = self.out.tokens.last_mut() {
+                    last.text = text;
+                }
+                return true;
+            }
+            _ => return false, // plain identifier starting with r/b
+        }
+        if raw {
+            // Raw string: ends at `"` followed by `hashes` hashes.
+            let mut q = p + 1;
+            loop {
+                match self.src.get(q) {
+                    None => break,
+                    Some(b'"')
+                        if self.src[q + 1..].iter().take_while(|b| **b == b'#').count()
+                            >= hashes =>
+                    {
+                        q += 1 + hashes;
+                        break;
+                    }
+                    Some(_) => q += 1,
+                }
+            }
+            self.count_newlines(start, q);
+            let text = self.slice(start, q);
+            self.pos = q;
+            self.push(TokenKind::Literal, text, line);
+        } else {
+            self.pos = p;
+            self.string(start, line);
+        }
+        true
+    }
+
+    /// Lexes a plain (escaped) string starting at the `"` at `self.pos`,
+    /// emitting a literal token whose text begins at `token_start`.
+    fn string(&mut self, token_start: usize, line: u32) {
+        let mut p = self.pos + 1;
+        while p < self.src.len() {
+            match self.src[p] {
+                b'\\' => p += 2,
+                b'"' => {
+                    p += 1;
+                    break;
+                }
+                _ => p += 1,
+            }
+        }
+        self.count_newlines(token_start, p);
+        let text = self.slice(token_start, p);
+        self.pos = p;
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        let start = self.pos;
+        // `'` then: escape => char; `X'` => char; ident-start not
+        // followed by a closing quote => lifetime.
+        match self.peek(1) {
+            Some(b'\\') => {
+                let mut p = self.pos + 2;
+                p += 1; // the escaped character
+                if self.src.get(p - 1) == Some(&b'u') {
+                    // '\u{…}'
+                    while p < self.src.len() && self.src[p - 1] != b'}' {
+                        p += 1;
+                    }
+                } else if self.src.get(p - 1) == Some(&b'x') {
+                    p += 2;
+                }
+                while p < self.src.len() && self.src[p] != b'\'' {
+                    p += 1;
+                }
+                p = (p + 1).min(self.src.len());
+                let text = self.slice(start, p);
+                self.pos = p;
+                self.push(TokenKind::Literal, text, line);
+            }
+            Some(c) if is_ident_start(c) => {
+                // Could be 'a' (char) or 'a (lifetime): look past the
+                // identifier run for a closing quote.
+                let mut p = self.pos + 1;
+                while p < self.src.len() && is_ident_continue(self.src[p]) {
+                    p += 1;
+                }
+                if self.src.get(p) == Some(&b'\'') && p == self.pos + 2 {
+                    let text = self.slice(start, p + 1);
+                    self.pos = p + 1;
+                    self.push(TokenKind::Literal, text, line);
+                } else {
+                    let text = self.slice(start, p);
+                    self.pos = p;
+                    self.push(TokenKind::Lifetime, text, line);
+                }
+            }
+            Some(_) => {
+                // Non-identifier char literal like '+' or '🦀'.
+                let mut p = self.pos + 1;
+                while p < self.src.len() && self.src[p] != b'\'' && self.src[p] != b'\n' {
+                    p += 1;
+                }
+                p = (p + 1).min(self.src.len());
+                let text = self.slice(start, p);
+                self.pos = p;
+                self.push(TokenKind::Literal, text, line);
+            }
+            None => {
+                self.pos += 1;
+                self.push(TokenKind::Punct, "'".into(), line);
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.pos;
+        let mut p = self.pos;
+        while p < self.src.len() {
+            let b = self.src[p];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                p += 1;
+            } else if b == b'.'
+                && self.src.get(p + 1) != Some(&b'.')
+                && self.src.get(p + 1).is_some_and(u8::is_ascii_digit)
+            {
+                // Decimal point, but never a `..` range.
+                p += 1;
+            } else {
+                break;
+            }
+        }
+        let text = self.slice(start, p);
+        self.pos = p;
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.pos;
+        let mut p = self.pos;
+        while p < self.src.len() && is_ident_continue(self.src[p]) {
+            p += 1;
+        }
+        let text = self.slice(start, p);
+        self.pos = p;
+        self.push(TokenKind::Ident, text, line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let x = "call unwrap() and HashMap"; x.len();"#);
+        assert!(!idents(r#"let x = "call unwrap() and HashMap"; x.len();"#)
+            .iter()
+            .any(|i| i == "unwrap" || i == "HashMap"));
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = r###"let s = r#"quote " inside, unwrap()"#; s.len();"###;
+        assert!(!idents(src).iter().any(|i| i == "unwrap"));
+        assert!(idents(src).iter().any(|i| i == "len"));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings() {
+        let src = r###"let a = b"unwrap()"; let b = br#"HashMap"#; ok();"###;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap" || i == "HashMap"));
+        assert!(ids.iter().any(|i| i == "ok"));
+    }
+
+    #[test]
+    fn line_and_nested_block_comments_are_collected() {
+        let src = "// outer unwrap()\nfn f() {} /* a /* nested */ block */\n";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("outer"));
+        assert!(l.comments[1].text.contains("nested"));
+        assert!(!l.tokens.iter().any(|t| t.text == "unwrap"));
+    }
+
+    #[test]
+    fn doc_comment_examples_are_not_code() {
+        let src = "/// ```\n/// m.outstanding(0x40, 0).unwrap();\n/// ```\nfn real() {}\n";
+        let l = lex(src);
+        assert!(!l.tokens.iter().any(|t| t.text == "unwrap"));
+        assert_eq!(l.comments.len(), 3);
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let src = "let c = 'a'; let nl = '\\n'; fn f<'a>(x: &'a str) {} let u = '\\u{1F980}';";
+        let l = lex(src);
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "{lifetimes:?}");
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal && t.text.starts_with('\''))
+            .count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn nested_generics_lex_cleanly() {
+        let src =
+            "fn f(m: BTreeMap<String, Vec<Option<u64>>>) -> Result<Vec<u8>, Box<dyn Error>> { }";
+        let ids = idents(src);
+        for want in [
+            "BTreeMap", "String", "Vec", "Option", "u64", "Result", "Box", "dyn", "Error",
+        ] {
+            assert!(ids.iter().any(|i| i == want), "missing {want}");
+        }
+        // Every `>` arrives as its own punct: shifts never merge tokens.
+        let gt = lex(src).tokens.iter().filter(|t| t.is_punct('>')).count();
+        assert_eq!(gt, 7, "5 closing generics + 1 arrow + 1 nested");
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let l = lex("for i in 0..10 { a[i] = 1.5e3_f64; }");
+        let dots = l.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "the `..` must stay two punct tokens");
+        assert!(l.tokens.iter().any(|t| t.text == "1.5e3_f64"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"x\";\n/* c\nc */ let b = 2;\nlet c = r#\"l1\nl2\"#;\nfinal_ident();";
+        let l = lex(src);
+        let fin = l.tokens.iter().find(|t| t.text == "final_ident").unwrap();
+        assert_eq!(fin.line, 6, "block comment spans 2-3, raw string spans 4-5");
+    }
+
+    #[test]
+    fn unterminated_string_does_not_panic() {
+        let l = lex("let s = \"never closed");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! soe-lint: a workspace-aware static-analysis pass enforcing the
+//! reproduction's simulator determinism and panic-safety invariants.
+//!
+//! The simulator's headline claim — bit-identical results for identical
+//! `(config, seed)` regardless of parallelism, sharding or resume — is
+//! only as strong as the code's discipline about three things:
+//!
+//! 1. **Determinism**: no unordered collections or wall-clock reads in
+//!    code that feeds simulated state ([`rules`]: `unordered-collections`,
+//!    `unordered-iteration`, `wall-clock`).
+//! 2. **Panic safety**: a panic inside a sweep kills a worker and takes
+//!    the whole run's wall-time with it; simulator and policy code must
+//!    return typed errors (`panic-unwrap`, `panic-macro`, `slice-index`).
+//! 3. **Artifact hygiene**: result files must be written atomically and
+//!    every config knob must be validated before a sweep consumes it
+//!    (`raw-fs-write`, `config-fields-validated`).
+//!
+//! Design constraints: std-only and registry-free (no syn/proc-macro2 —
+//! the gate must build offline), a small hand-rolled lexer rather than a
+//! full parser, inline `// soe-lint: allow(rule): reason` suppressions,
+//! and a checked-in ratcheting baseline for grandfathered findings.
+//!
+//! See `LINTS.md` at the workspace root for the rule catalog.
+
+pub mod baseline;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod suppress;
+
+pub use baseline::Baseline;
+pub use diag::{summarize, Finding, Severity, Summary, Waiver};
+pub use engine::{analyze_source, analyze_workspace, analyze_workspace_filtered, Analysis};
+pub use rules::{all_rules, Rule};
+pub use source::SourceFile;

@@ -1,0 +1,225 @@
+//! CLI for soe-lint.
+//!
+//! ```text
+//! cargo run -p soe-lint                     # lint the workspace, text output
+//! cargo run -p soe-lint -- --format json    # machine-readable (CI)
+//! cargo run -p soe-lint -- --update-baseline
+//! cargo run -p soe-lint -- --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unwaived errors, 2 usage or I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use soe_lint::baseline::Baseline;
+use soe_lint::diag::{render_json, render_text, summarize};
+use soe_lint::engine::{analyze_workspace_filtered, rule_exists};
+use soe_lint::rules::all_rules;
+
+const USAGE: &str = "\
+soe-lint: enforce simulator determinism and panic-safety invariants
+
+USAGE: soe-lint [OPTIONS]
+
+OPTIONS:
+  --root <DIR>        workspace root (default: autodetected from the
+                      lint crate's location, else the current directory)
+  --baseline <PATH>   baseline file (default: <root>/lint-baseline.txt)
+  --update-baseline   rewrite the baseline from current findings and exit
+  --format <F>        text | json (default: text)
+  --rule <ID>         run only the named rule
+  --list-rules        print the rule catalog and exit
+  --verbose           also show suppressed/baselined findings
+  --help              this message
+";
+
+struct Opts {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    format: Format,
+    rule: Option<String>,
+    list_rules: bool,
+    verbose: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        baseline: None,
+        update_baseline: false,
+        format: Format::Text,
+        rule: None,
+        list_rules: false,
+        verbose: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a value")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a value")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--update-baseline" => opts.update_baseline = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--rule" => {
+                let v = it.next().ok_or("--rule needs a value")?;
+                if !rule_exists(v) {
+                    return Err(format!("unknown rule `{v}` (try --list-rules)"));
+                }
+                opts.rule = Some(v.clone());
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--verbose" => opts.verbose = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Autodetects the workspace root: the directory two levels above this
+/// crate's manifest (crates/lint -> workspace), falling back to the
+/// current directory when the binary is run standalone.
+fn detect_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("soe-lint: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for r in all_rules() {
+            let scope = if r.scope.is_empty() {
+                "workspace".to_string()
+            } else {
+                r.scope.join(", ")
+            };
+            let tests = if r.applies_in_tests {
+                "incl. tests"
+            } else {
+                "non-test"
+            };
+            println!(
+                "{:<26} {:<12} {:<8} [{scope}; {tests}]",
+                r.id,
+                r.category,
+                r.severity.to_string()
+            );
+            println!(
+                "    {}",
+                r.description
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = opts.root.unwrap_or_else(detect_root);
+    let baseline_path = opts
+        .baseline
+        .unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    let baseline = if opts.update_baseline {
+        Baseline::default() // regenerate from scratch: old waivers don't carry over
+    } else if baseline_path.is_file() {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "soe-lint: cannot read baseline {}: {e}",
+                    baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("soe-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
+    let analysis = match analyze_workspace_filtered(&root, &baseline, opts.rule.as_deref()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("soe-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.update_baseline {
+        let errors: Vec<_> = analysis
+            .findings
+            .iter()
+            .filter(|f| f.counts_as_error())
+            .cloned()
+            .collect();
+        let text = Baseline::regenerate(&errors);
+        // soe-lint: allow(raw-fs-write): the baseline is a dev-time artifact regenerated on demand, not a results file
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("soe-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "soe-lint: baseline {} rewritten ({} grandfathered finding(s))",
+            baseline_path.display(),
+            errors.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let summary = summarize(&analysis.findings, analysis.files);
+    match opts.format {
+        Format::Text => {
+            print!("{}", render_text(&analysis.findings, summary, opts.verbose));
+            for (rule, file, count) in &analysis.stale_baseline {
+                eprintln!("soe-lint: stale baseline entry: {rule} {file} ({count} unused) — regenerate with --update-baseline");
+            }
+        }
+        Format::Json => print!("{}", render_json(&analysis.findings, summary)),
+    }
+
+    if analysis.has_errors() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

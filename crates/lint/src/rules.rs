@@ -1,0 +1,829 @@
+//! The rule set.
+//!
+//! Every rule is a pure function over one [`SourceFile`]'s token stream;
+//! the engine handles suppressions, the baseline and aggregation. Rules
+//! are scoped by path (the determinism and panic-safety invariants only
+//! bind the simulator and enforcement-engine crates) and most exempt
+//! test code, where panics are the assertion mechanism and wall-clock
+//! time is what is being measured.
+
+use crate::diag::{Finding, Severity, Waiver};
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+/// Path prefixes of the crates whose code must be deterministic and
+/// panic-free: the cycle-level simulator and the fairness/supervision
+/// engine. (`crates/bench` drives experiments but does not execute
+/// inside the simulated machine; `crates/model`/`stats`/`workloads` are
+/// pure functions whose panics cannot take a sweep down mid-run because
+/// they run before jobs are spawned.)
+const SIM_CORE: &[&str] = &["crates/sim/src/", "crates/core/src/"];
+
+/// Descriptor + implementation of one rule.
+pub struct Rule {
+    /// Stable id, used in suppressions and the baseline.
+    pub id: &'static str,
+    /// Rule category (`determinism`, `panic-safety`, `hygiene`).
+    pub category: &'static str,
+    /// Severity of its findings.
+    pub severity: Severity,
+    /// One-line description (for `--list-rules` and LINTS.md parity).
+    pub description: &'static str,
+    /// Whether the rule also applies inside test code.
+    pub applies_in_tests: bool,
+    /// Path prefixes the rule is scoped to (empty = whole workspace).
+    pub scope: &'static [&'static str],
+    check: fn(&SourceFile, &Rule) -> Vec<Finding>,
+}
+
+impl Rule {
+    /// Runs the rule over `file`, already filtered to its scope and
+    /// (unless `applies_in_tests`) to non-test lines.
+    pub fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        if !self.scope.is_empty() && !file.under_any(self.scope) {
+            return Vec::new();
+        }
+        let mut findings = (self.check)(file, self);
+        if !self.applies_in_tests {
+            findings.retain(|f| !file.is_test_line(f.line));
+        }
+        findings
+    }
+
+    fn finding(
+        &self,
+        file: &SourceFile,
+        line: u32,
+        message: String,
+        hint: &'static str,
+    ) -> Finding {
+        Finding {
+            rule: self.id,
+            severity: self.severity,
+            file: file.path.clone(),
+            line,
+            message,
+            hint,
+            waiver: Waiver::None,
+        }
+    }
+}
+
+/// The full rule set, in stable order.
+pub fn all_rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            id: "unordered-collections",
+            category: "determinism",
+            severity: Severity::Error,
+            description: "no HashMap/HashSet in simulator or policy code: their \
+                          iteration order varies run-to-run and breaks bit-determinism",
+            applies_in_tests: false,
+            scope: SIM_CORE,
+            check: check_unordered_collections,
+        },
+        Rule {
+            id: "unordered-iteration",
+            category: "determinism",
+            severity: Severity::Warning,
+            description: "iteration over a locally-declared HashMap/HashSet anywhere \
+                          in the workspace (heuristic; order-dependent output is the risk)",
+            applies_in_tests: false,
+            scope: &[],
+            check: check_unordered_iteration,
+        },
+        Rule {
+            id: "wall-clock",
+            category: "determinism",
+            severity: Severity::Error,
+            description: "no Instant::now/SystemTime in simulator or policy code: \
+                          wall-clock reads make cycle-level results host-dependent",
+            applies_in_tests: false,
+            scope: SIM_CORE,
+            check: check_wall_clock,
+        },
+        Rule {
+            id: "panic-unwrap",
+            category: "panic-safety",
+            severity: Severity::Error,
+            description: "no .unwrap()/.expect() in non-test simulator or policy code: \
+                          a panic mid-sweep costs the whole worker, not one job",
+            applies_in_tests: false,
+            scope: SIM_CORE,
+            check: check_panic_unwrap,
+        },
+        Rule {
+            id: "panic-macro",
+            category: "panic-safety",
+            severity: Severity::Error,
+            description: "no panic!/unreachable!/todo!/unimplemented! in non-test \
+                          simulator or policy code",
+            applies_in_tests: false,
+            scope: SIM_CORE,
+            check: check_panic_macro,
+        },
+        Rule {
+            id: "slice-index",
+            category: "panic-safety",
+            severity: Severity::Error,
+            description: "no bracket indexing in non-test simulator or policy code: \
+                          out-of-bounds indexes panic; prefer get()/typed errors or a \
+                          justified allow at a bounds-guaranteed funnel",
+            applies_in_tests: false,
+            scope: SIM_CORE,
+            check: check_slice_index,
+        },
+        Rule {
+            id: "raw-fs-write",
+            category: "hygiene",
+            severity: Severity::Error,
+            description: "no bare std::fs::write anywhere: artifacts must go through \
+                          atomic_write so a crash never leaves a half-written file",
+            applies_in_tests: true,
+            scope: &[],
+            check: check_raw_fs_write,
+        },
+        Rule {
+            id: "config-fields-validated",
+            category: "hygiene",
+            severity: Severity::Error,
+            description: "every field of a *Config struct with a check() method must be \
+                          mentioned in that check(): new knobs must be validated (or \
+                          explicitly acknowledged) before sweeps consume them",
+            applies_in_tests: true,
+            scope: &[],
+            check: check_config_fields_validated,
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------------
+
+fn check_unordered_collections(file: &SourceFile, rule: &Rule) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for t in &file.tokens {
+        if t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(rule.finding(
+                file,
+                t.line,
+                format!("`{}` in simulator/policy code", t.text),
+                "use BTreeMap/BTreeSet (deterministic order) or an index-ordered Vec",
+            ));
+        }
+    }
+    out
+}
+
+/// Names declared (let-bound or struct-field) with a HashMap/HashSet
+/// type in this file, found by a statement-local scan.
+fn unordered_names(tokens: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back to the start of the statement/field (`;`, `{`, `}`
+        // or `,` at generic depth 0) collecting the first `name :` or
+        // `let [mut] name` pattern.
+        let mut j = i;
+        let mut depth = 0i32;
+        while j > 0 {
+            let p = &tokens[j - 1];
+            if p.is_punct('>') {
+                depth += 1;
+            } else if p.is_punct('<') {
+                depth -= 1;
+            } else if depth <= 0
+                && (p.is_punct(';') || p.is_punct('{') || p.is_punct('}') || p.is_punct(','))
+            {
+                break;
+            }
+            j -= 1;
+        }
+        // Within tokens[j..i]: `let [mut] NAME` or `NAME :`.
+        let window = &tokens[j..i];
+        for (k, w) in window.iter().enumerate() {
+            if w.is_ident("let") {
+                let mut n = k + 1;
+                if window.get(n).is_some_and(|t| t.is_ident("mut")) {
+                    n += 1;
+                }
+                if let Some(name) = window.get(n).filter(|t| t.kind == TokenKind::Ident) {
+                    names.push(name.text.clone());
+                }
+                break;
+            }
+            if w.kind == TokenKind::Ident
+                && window.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                && !window.get(k + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                names.push(w.text.clone());
+                break;
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+fn check_unordered_iteration(file: &SourceFile, rule: &Rule) -> Vec<Finding> {
+    const ITER_METHODS: &[&str] = &[
+        "iter",
+        "iter_mut",
+        "into_iter",
+        "keys",
+        "values",
+        "values_mut",
+        "drain",
+    ];
+    let names = unordered_names(&file.tokens);
+    if names.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !names.contains(&t.text) {
+            continue;
+        }
+        // name.iter() / name.keys() / …
+        if tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && tokens.get(i + 2).is_some_and(|m| {
+                m.kind == TokenKind::Ident && ITER_METHODS.contains(&m.text.as_str())
+            })
+            && tokens.get(i + 3).is_some_and(|p| p.is_punct('('))
+        {
+            out.push(rule.finding(
+                file,
+                t.line,
+                format!(
+                    "iteration over unordered collection `{}` (via .{}())",
+                    t.text,
+                    tokens[i + 2].text
+                ),
+                "iterate a BTree collection or sort the items first",
+            ));
+        }
+        // for x in name / for x in &name
+        if i >= 1 {
+            let prev = &tokens[i - 1];
+            let prev2 = i >= 2; // only matters when prev is '&'
+            let after_in = prev.is_ident("in")
+                || (prev.is_punct('&') && prev2 && tokens[i - 2].is_ident("in"))
+                || (prev.is_ident("mut")
+                    && i >= 3
+                    && tokens[i - 2].is_punct('&')
+                    && tokens[i - 3].is_ident("in"));
+            let not_method = !tokens.get(i + 1).is_some_and(|n| n.is_punct('.'));
+            if after_in && not_method {
+                out.push(rule.finding(
+                    file,
+                    t.line,
+                    format!("for-loop over unordered collection `{}`", t.text),
+                    "iterate a BTree collection or sort the items first",
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn check_wall_clock(file: &SourceFile, rule: &Rule) -> Vec<Finding> {
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("SystemTime") {
+            out.push(rule.finding(
+                file,
+                t.line,
+                "`SystemTime` in simulator/policy code".into(),
+                "derive anything time-like from the simulated cycle counter or a seed",
+            ));
+        }
+        if t.is_ident("Instant")
+            && tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|a| a.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|a| a.is_ident("now"))
+        {
+            out.push(rule.finding(
+                file,
+                t.line,
+                "`Instant::now()` in simulator/policy code".into(),
+                "wall-clock reads are only legitimate for watchdogs/progress; \
+                 suppress with a justification if this is one",
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// panic-safety
+// ---------------------------------------------------------------------------
+
+fn check_panic_unwrap(file: &SourceFile, rule: &Rule) -> Vec<Finding> {
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i >= 1
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|p| p.is_punct('('))
+        {
+            out.push(rule.finding(
+                file,
+                t.line,
+                format!("`.{}()` in simulator/policy code", t.text),
+                "return a typed error (SimError / io::Error), use unwrap_or/match, \
+                 or suppress with an invariant justification",
+            ));
+        }
+    }
+    out
+}
+
+fn check_panic_macro(file: &SourceFile, rule: &Rule) -> Vec<Finding> {
+    const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && MACROS.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(rule.finding(
+                file,
+                t.line,
+                format!("`{}!` in simulator/policy code", t.text),
+                "return a typed error, or suppress if this is a documented \
+                 panicking API wrapper around a try_ variant",
+            ));
+        }
+    }
+    out
+}
+
+fn check_slice_index(file: &SourceFile, rule: &Rule) -> Vec<Finding> {
+    // Keywords that can precede a `[` that is a type or a fresh
+    // expression (`&mut [Line]`, `return [0; 4]`), never an indexing
+    // base.
+    const NON_VALUE_KEYWORDS: &[&str] = &[
+        "mut", "dyn", "in", "as", "return", "break", "continue", "else", "match", "impl", "ref",
+        "move", "box", "where", "const", "static", "let", "fn", "pub", "use", "crate", "struct",
+        "enum", "type", "trait", "unsafe", "extern", "if", "while", "for", "loop",
+    ];
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_punct('[') || i == 0 {
+            continue;
+        }
+        let prev = &tokens[i - 1];
+        // An index expression follows a place/value: `ident[`, `)[`,
+        // `][`. Array types/literals and attributes follow punctuation
+        // (`: [u8; 4]`, `#[derive]`, `= [1, 2]`) and never match.
+        let indexes_value = (prev.kind == TokenKind::Ident
+            && !NON_VALUE_KEYWORDS.contains(&prev.text.as_str()))
+            || prev.is_punct(')')
+            || prev.is_punct(']');
+        if !indexes_value {
+            continue;
+        }
+        // `#[attr]` and `#![attr]`: `[` directly after `#` or `#!`.
+        if prev.kind == TokenKind::Ident && i >= 2 && tokens[i - 2].is_punct('#') {
+            continue;
+        }
+        // Macro invocation brackets: `vec![…]`, `matches![…]`.
+        if prev.is_punct(']') && i >= 2 && tokens[i - 2].is_punct('!') {
+            continue;
+        }
+        let subject = if prev.kind == TokenKind::Ident {
+            format!("`{}[…]`", prev.text)
+        } else {
+            "`…[…]`".to_string()
+        };
+        out.push(rule.finding(
+            file,
+            t.line,
+            format!("{subject} indexing in simulator/policy code can panic"),
+            "use .get()/.get_mut() with a typed error, or funnel through one \
+             bounds-guaranteed helper carrying an allow + invariant comment",
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// hygiene
+// ---------------------------------------------------------------------------
+
+fn check_raw_fs_write(file: &SourceFile, rule: &Rule) -> Vec<Finding> {
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        // `fs :: write (` — with or without a `std ::` prefix; `use`
+        // imports don't call it and are not flagged (no open paren).
+        if t.is_ident("fs")
+            && tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|a| a.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|a| a.is_ident("write"))
+            && tokens.get(i + 4).is_some_and(|a| a.is_punct('('))
+        {
+            out.push(rule.finding(
+                file,
+                t.line,
+                "bare `std::fs::write` (non-atomic: a crash can leave a torn file)".into(),
+                "use soe_core::atomic_write (temp file + sync + rename), or suppress \
+                 when a test deliberately fabricates a corrupt/torn artifact",
+            ));
+        }
+    }
+    out
+}
+
+/// Collects `(struct_name, line, fields)` for every `struct *Config`.
+fn config_structs(tokens: &[Token]) -> Vec<(String, u32, Vec<String>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("struct")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Ident && n.text.ends_with("Config"))
+            && tokens.get(i + 2).is_some_and(|b| b.is_punct('{'))
+        {
+            let name = tokens[i + 1].text.clone();
+            let line = tokens[i + 1].line;
+            let mut fields = Vec::new();
+            let mut j = i + 3;
+            let mut depth = 1i32; // inside the struct body
+            let mut expect_field = true;
+            while j < tokens.len() && depth > 0 {
+                let t = &tokens[j];
+                if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                    depth -= 1;
+                } else if depth == 1 {
+                    if expect_field
+                        && t.kind == TokenKind::Ident
+                        && t.text != "pub"
+                        && tokens.get(j + 1).is_some_and(|c| c.is_punct(':'))
+                    {
+                        fields.push(t.text.clone());
+                        expect_field = false;
+                    } else if t.is_punct(',') {
+                        expect_field = true;
+                    }
+                }
+                j += 1;
+            }
+            out.push((name, line, fields));
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Finds the token range of `fn check` inside `impl <name>`, if any.
+fn check_fn_body(tokens: &[Token], name: &str) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("impl") {
+            // `impl Name {` (skip generics; reject `impl Trait for Name`).
+            let mut j = i + 1;
+            while j < tokens.len() && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                if tokens[j].is_ident("for") {
+                    break;
+                }
+                j += 1;
+            }
+            let is_inherent = tokens.get(j).is_some_and(|t| t.is_punct('{'))
+                && tokens[i + 1..j].iter().any(|t| t.is_ident(name));
+            if is_inherent {
+                // Scan the impl body for `fn check`.
+                let mut depth = 1i32;
+                let mut k = j + 1;
+                while k < tokens.len() && depth > 0 {
+                    let t = &tokens[k];
+                    if t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct('}') {
+                        depth -= 1;
+                    } else if depth == 1
+                        && t.is_ident("fn")
+                        && tokens.get(k + 1).is_some_and(|n| n.is_ident("check"))
+                    {
+                        // Body: from the fn's `{` to its matching `}`.
+                        let mut b = k + 2;
+                        while b < tokens.len() && !tokens[b].is_punct('{') {
+                            b += 1;
+                        }
+                        let start = b + 1;
+                        let mut bd = 1i32;
+                        let mut e = start;
+                        while e < tokens.len() && bd > 0 {
+                            if tokens[e].is_punct('{') {
+                                bd += 1;
+                            } else if tokens[e].is_punct('}') {
+                                bd -= 1;
+                            }
+                            e += 1;
+                        }
+                        return Some((start, e));
+                    }
+                    k += 1;
+                }
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+fn check_config_fields_validated(file: &SourceFile, rule: &Rule) -> Vec<Finding> {
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    for (name, line, fields) in config_structs(tokens) {
+        let Some((start, end)) = check_fn_body(tokens, &name) else {
+            continue; // no check() — the struct opted out of validation
+        };
+        let body = &tokens[start..end];
+        let missing: Vec<&String> = fields
+            .iter()
+            .filter(|f| {
+                !body
+                    .iter()
+                    .any(|t| t.kind == TokenKind::Ident && t.text == **f)
+            })
+            .collect();
+        if !missing.is_empty() {
+            let list: Vec<&str> = missing.iter().map(|s| s.as_str()).collect();
+            out.push(rule.finding(
+                file,
+                line,
+                format!(
+                    "{name}::check() never mentions field(s): {}",
+                    list.join(", ")
+                ),
+                "validate the field in check(), or acknowledge it there explicitly \
+                 (e.g. `let _ = (self.flag, …); // no invariant`)",
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_rule(id: &str, path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse(path, src);
+        let rules = all_rules();
+        let rule = rules.iter().find(|r| r.id == id).expect("rule exists");
+        rule.check(&file)
+    }
+
+    const SIM: &str = "crates/sim/src/mem/x.rs";
+
+    #[test]
+    fn unordered_collections_positive_and_negative() {
+        assert_eq!(
+            run_rule(
+                "unordered-collections",
+                SIM,
+                "use std::collections::HashMap;"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            run_rule(
+                "unordered-collections",
+                SIM,
+                "struct S { m: std::collections::HashSet<u64> }"
+            )
+            .len(),
+            1
+        );
+        assert!(run_rule(
+            "unordered-collections",
+            SIM,
+            "use std::collections::BTreeMap;"
+        )
+        .is_empty());
+        // Out of scope: other crates may use hash containers.
+        assert!(run_rule(
+            "unordered-collections",
+            "crates/stats/src/x.rs",
+            "use std::collections::HashMap;"
+        )
+        .is_empty());
+        // Test code is exempt.
+        assert!(run_rule(
+            "unordered-collections",
+            SIM,
+            "#[cfg(test)]\nmod tests { use std::collections::HashMap; }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unordered_iteration_flags_iter_and_for() {
+        let src = "fn f() { let mut m = HashMap::new(); for (k, v) in &m { } m.keys().count(); }";
+        let found = run_rule("unordered-iteration", "crates/bench/src/x.rs", src);
+        assert_eq!(found.len(), 2, "{found:?}");
+        // Lookups alone are fine.
+        let src = "fn f() { let m = HashMap::new(); m.get(&1); m.insert(1, 2); }";
+        assert!(run_rule("unordered-iteration", "crates/bench/src/x.rs", src).is_empty());
+        // BTreeMap iteration is fine.
+        let src = "fn f() { let m = BTreeMap::new(); for k in &m { } }";
+        assert!(run_rule("unordered-iteration", "crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unordered_iteration_sees_struct_fields() {
+        let src =
+            "struct S { seen: HashSet<u64> }\nimpl S { fn f(&self) { self.seen.iter().count(); } }";
+        assert_eq!(
+            run_rule("unordered-iteration", "crates/bench/src/x.rs", src).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn wall_clock_flags_now_but_not_duration() {
+        assert_eq!(
+            run_rule("wall-clock", SIM, "fn f() { let t = Instant::now(); }").len(),
+            1
+        );
+        assert_eq!(
+            run_rule("wall-clock", SIM, "fn f() { let t = SystemTime::now(); }").len(),
+            1
+        );
+        assert!(run_rule("wall-clock", SIM, "fn f(d: Duration) { }").is_empty());
+        assert!(
+            run_rule("wall-clock", SIM, "fn f(started: Instant) { }").is_empty(),
+            "storing is not reading"
+        );
+    }
+
+    #[test]
+    fn panic_unwrap_positive_and_negative() {
+        assert_eq!(
+            run_rule("panic-unwrap", SIM, "fn f() { x.unwrap(); }").len(),
+            1
+        );
+        assert_eq!(
+            run_rule("panic-unwrap", SIM, "fn f() { x.expect(\"m\"); }").len(),
+            1
+        );
+        assert!(run_rule("panic-unwrap", SIM, "fn f() { x.unwrap_or(0); }").is_empty());
+        assert!(run_rule("panic-unwrap", SIM, "fn f() { x.unwrap_or_else(|| 0); }").is_empty());
+        // Strings and docs never trigger.
+        assert!(run_rule("panic-unwrap", SIM, "fn f() { let s = \".unwrap()\"; }").is_empty());
+        assert!(run_rule("panic-unwrap", SIM, "/// call .unwrap() freely\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn panic_macro_positive_and_negative() {
+        assert_eq!(
+            run_rule("panic-macro", SIM, "fn f() { panic!(\"boom\"); }").len(),
+            1
+        );
+        assert_eq!(
+            run_rule("panic-macro", SIM, "fn f() { unreachable!(); }").len(),
+            1
+        );
+        assert!(
+            run_rule("panic-macro", SIM, "fn f() { assert!(x > 0); }").is_empty(),
+            "asserts are invariants"
+        );
+        assert!(
+            run_rule("panic-macro", SIM, "fn panic_message() {}").is_empty(),
+            "no bang"
+        );
+    }
+
+    #[test]
+    fn slice_index_positive_and_negative() {
+        assert_eq!(
+            run_rule("slice-index", SIM, "fn f() { let x = v[i]; }").len(),
+            1
+        );
+        assert_eq!(
+            run_rule("slice-index", SIM, "fn f() { g()[0] = 1; }").len(),
+            1
+        );
+        assert_eq!(
+            run_rule("slice-index", SIM, "fn f() { m[a][b] = 1; }").len(),
+            2
+        );
+        assert!(
+            run_rule("slice-index", SIM, "#[derive(Debug)]\nstruct S;").is_empty(),
+            "attributes"
+        );
+        assert!(run_rule(
+            "slice-index",
+            SIM,
+            "fn f(x: [u8; 4]) -> Vec<u8> { vec![1, 2] }"
+        )
+        .is_empty());
+        assert!(
+            run_rule("slice-index", SIM, "fn f() { let a = [0u8; 8]; }").is_empty(),
+            "array literal"
+        );
+        assert!(run_rule("slice-index", SIM, "fn f(v: &[u8]) { v.get(0); }").is_empty());
+        assert!(
+            run_rule("slice-index", SIM, "fn set(&mut self) -> &mut [u8] { }").is_empty(),
+            "slice type"
+        );
+        assert!(
+            run_rule("slice-index", SIM, "fn f() { return [0u8; 4]; }").is_empty(),
+            "array after keyword"
+        );
+    }
+
+    #[test]
+    fn raw_fs_write_applies_everywhere_even_tests() {
+        assert_eq!(
+            run_rule(
+                "raw-fs-write",
+                "crates/stats/src/x.rs",
+                "fn f() { std::fs::write(p, b).unwrap(); }"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            run_rule(
+                "raw-fs-write",
+                "tests/x.rs",
+                "fn f() { fs::write(p, b).unwrap(); }"
+            )
+            .len(),
+            1
+        );
+        assert!(run_rule(
+            "raw-fs-write",
+            "tests/x.rs",
+            "fn f() { std::fs::read(p).unwrap(); }"
+        )
+        .is_empty());
+        assert!(
+            run_rule("raw-fs-write", "tests/x.rs", "use std::fs::write;").is_empty(),
+            "imports alone are not calls"
+        );
+    }
+
+    #[test]
+    fn config_fields_validated_finds_missing_fields() {
+        let src = "struct FooConfig { a: u64, pub b: u64, c: bool }\n\
+                   impl FooConfig {\n\
+                     pub fn check(&self) -> Result<(), E> { ensure!(self.a > 0); let _ = self.c; Ok(()) }\n\
+                   }";
+        let found = run_rule("config-fields-validated", "crates/sim/src/config.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(
+            found[0].message.ends_with("field(s): b"),
+            "{}",
+            found[0].message
+        );
+    }
+
+    #[test]
+    fn config_without_check_is_skipped() {
+        let src = "struct BarConfig { a: u64 }\nimpl BarConfig { pub fn new() -> Self { Self { a: 1 } } }";
+        assert!(run_rule("config-fields-validated", "crates/sim/src/config.rs", src).is_empty());
+    }
+
+    #[test]
+    fn config_check_on_trait_impl_is_ignored() {
+        // `impl Default for BazConfig` must not count as the check() home.
+        let src = "struct BazConfig { a: u64 }\n\
+                   impl Default for BazConfig { fn default() -> Self { Self { a: 1 } } }\n\
+                   impl BazConfig { fn check(&self) -> bool { self.a > 0 } }";
+        assert!(run_rule("config-fields-validated", "crates/sim/src/config.rs", src).is_empty());
+    }
+
+    #[test]
+    fn generic_fields_do_not_confuse_the_field_scan() {
+        let src = "struct QuxConfig { m: BTreeMap<String, Vec<u64>>, n: u64 }\n\
+                   impl QuxConfig { fn check(&self) -> bool { self.m.is_empty() && self.n > 0 } }";
+        assert!(run_rule("config-fields-validated", "crates/x/src/y.rs", src).is_empty());
+        // Drop `n` from check: only `n` is reported, not the generics' idents.
+        let src2 = "struct QuxConfig { m: BTreeMap<String, Vec<u64>>, n: u64 }\n\
+                    impl QuxConfig { fn check(&self) -> bool { self.m.is_empty() } }";
+        let found = run_rule("config-fields-validated", "crates/x/src/y.rs", src2);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.ends_with("n"), "{}", found[0].message);
+    }
+}

@@ -1,0 +1,185 @@
+//! The per-file analysis unit: tokens, comments, and the line ranges
+//! that count as test code.
+
+use crate::lexer::{lex, Comment, Token};
+
+/// One lexed source file plus the context rules need to scope
+/// themselves: where it lives in the workspace and which lines are test
+/// code.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated (stable across platforms
+    /// for baselines and diagnostics).
+    pub path: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// All comments, for suppression scanning.
+    pub comments: Vec<Comment>,
+    /// Inclusive line ranges of `#[cfg(test)]` items.
+    test_ranges: Vec<(u32, u32)>,
+    /// Whether the whole file is test/dev code (under `tests/`,
+    /// `examples/` or `benches/`).
+    whole_file_test: bool,
+}
+
+impl SourceFile {
+    /// Lexes `src` as the file at workspace-relative `path`.
+    pub fn parse(path: &str, src: &str) -> Self {
+        let lexed = lex(src);
+        let test_ranges = find_test_ranges(&lexed.tokens);
+        let whole_file_test = {
+            let mut parts = path.split('/');
+            // `tests/…` at the workspace root, or `crates/x/tests/…`,
+            // `crates/x/examples/…`, `crates/x/benches/…`.
+            let top = parts.next().unwrap_or("");
+            matches!(top, "tests" | "examples" | "benches")
+                || path
+                    .split('/')
+                    .any(|p| p == "tests" || p == "examples" || p == "benches")
+        };
+        Self {
+            path: path.to_string(),
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            test_ranges,
+            whole_file_test,
+        }
+    }
+
+    /// Whether `line` is inside test code (a `#[cfg(test)]` item or a
+    /// file that is test-only as a whole).
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.whole_file_test
+            || self
+                .test_ranges
+                .iter()
+                .any(|(a, b)| (*a..=*b).contains(&line))
+    }
+
+    /// Whether the file's path starts with any of `prefixes`.
+    pub fn under_any(&self, prefixes: &[&str]) -> bool {
+        prefixes.iter().any(|p| self.path.starts_with(p))
+    }
+}
+
+/// Finds the inclusive line ranges of items annotated `#[cfg(test)]`.
+///
+/// Strategy: find the attribute token sequence `# [ cfg ( test ) ]`,
+/// skip any further attributes, then consume the annotated item — up to
+/// its matching close brace (for `mod`/`fn`/`impl` bodies) or a `;`
+/// (for braceless items like `use`), whichever comes first.
+fn find_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            let start_line = tokens[i].line;
+            let mut j = i + 7; // past `# [ cfg ( test ) ]`
+                               // Skip any further attributes (`#[test]`, `#[should_panic]`…).
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                j = skip_attr(tokens, j);
+            }
+            // Consume the item: to `;` at depth 0 or through `{…}`.
+            let mut depth = 0usize;
+            let mut end_line = tokens.get(j).map_or(start_line, |t| t.line);
+            while j < tokens.len() {
+                let t = &tokens[j];
+                end_line = t.line;
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    // A stray close brace (attribute on a statement at
+                    // the end of a block) also ends the item.
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_punct(';') && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            ranges.push((start_line, end_line));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+/// Whether the tokens at `i` spell `# [ cfg ( test ) ]`.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let at = |k: usize| tokens.get(i + k);
+    at(0).is_some_and(|t| t.is_punct('#'))
+        && at(1).is_some_and(|t| t.is_punct('['))
+        && at(2).is_some_and(|t| t.is_ident("cfg"))
+        && at(3).is_some_and(|t| t.is_punct('('))
+        && at(4).is_some_and(|t| t.is_ident("test"))
+        && at(5).is_some_and(|t| t.is_punct(')'))
+        && at(6).is_some_and(|t| t.is_punct(']'))
+}
+
+/// Advances past one attribute starting at the `#` at `i`, returning
+/// the index after its closing `]`.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if !tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+        return i + 1;
+    }
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_range_is_detected() {
+        let src = "fn live() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\nfn also_live() {}\n";
+        let f = SourceFile::parse("crates/sim/src/x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3), "the attribute line itself");
+        assert!(f.is_test_line(6), "inside the module");
+        assert!(f.is_test_line(7), "closing brace");
+        assert!(!f.is_test_line(8));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item() {
+        let src = "#[cfg(test)]\nuse helpers::x;\nfn live() {}\n";
+        let f = SourceFile::parse("crates/sim/src/x.rs", src);
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn tests_dir_is_whole_file_test() {
+        let f = SourceFile::parse("tests/determinism.rs", "fn x() {}");
+        assert!(f.is_test_line(1));
+        let g = SourceFile::parse("crates/sim/tests/integration.rs", "fn x() {}");
+        assert!(g.is_test_line(1));
+        let h = SourceFile::parse("crates/sim/src/core.rs", "fn x() {}");
+        assert!(!h.is_test_line(1));
+    }
+
+    #[test]
+    fn nested_braces_inside_test_mod_do_not_truncate_the_range() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn a() { if x { y(); } }\n    fn b() {}\n}\nfn live() {}\n";
+        let f = SourceFile::parse("crates/sim/src/x.rs", src);
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+}

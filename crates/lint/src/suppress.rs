@@ -1,0 +1,109 @@
+//! Inline suppressions: `// soe-lint: allow(rule-id): reason`.
+//!
+//! A suppression covers findings of the named rule(s) on the same line
+//! as the comment, or on the line directly below it (the usual "allow
+//! comment above the offending statement" style). Multiple rule ids may
+//! be listed comma-separated inside the parentheses.
+
+use crate::lexer::Comment;
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule ids the comment allows.
+    pub rules: Vec<String>,
+    /// Line the comment sits on.
+    pub line: u32,
+}
+
+impl Suppression {
+    /// Whether this suppression waives a finding of `rule` at `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        (line == self.line || line == self.line + 1) && self.rules.iter().any(|r| r == rule)
+    }
+}
+
+/// Extracts all suppressions from a file's comments.
+pub fn parse_suppressions(comments: &[Comment]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(idx) = c.text.find("soe-lint:") else {
+            continue;
+        };
+        let rest = c.text[idx + "soe-lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if !rules.is_empty() {
+            out.push(Suppression {
+                rules,
+                line: c.line,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn suppressions(src: &str) -> Vec<Suppression> {
+        parse_suppressions(&lex(src).comments)
+    }
+
+    #[test]
+    fn parses_single_and_multi_rule_allows() {
+        let s = suppressions("// soe-lint: allow(panic-unwrap): len checked above\nx.unwrap();\n");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].rules, vec!["panic-unwrap"]);
+        assert_eq!(s[0].line, 1);
+
+        let s = suppressions(
+            "let x = v[i]; // soe-lint: allow(slice-index, panic-unwrap): bounds-guaranteed\n",
+        );
+        assert_eq!(s[0].rules, vec!["slice-index", "panic-unwrap"]);
+    }
+
+    #[test]
+    fn covers_same_line_and_next_line_only() {
+        let s = Suppression {
+            rules: vec!["panic-unwrap".into()],
+            line: 10,
+        };
+        assert!(s.covers("panic-unwrap", 10));
+        assert!(s.covers("panic-unwrap", 11));
+        assert!(!s.covers("panic-unwrap", 12));
+        assert!(!s.covers("panic-unwrap", 9));
+        assert!(!s.covers("slice-index", 10));
+    }
+
+    #[test]
+    fn ignores_malformed_and_unrelated_comments() {
+        assert!(suppressions("// just a comment mentioning soe-lint: nothing\n").is_empty());
+        assert!(suppressions("// soe-lint: allow\n").is_empty());
+        assert!(suppressions("// soe-lint: allow()\n").is_empty());
+        assert!(suppressions("// soe-lint: deny(panic-unwrap)\n").is_empty());
+    }
+
+    #[test]
+    fn block_comments_work_too() {
+        let s =
+            suppressions("/* soe-lint: allow(wall-clock): watchdog */\nlet t = Instant::now();\n");
+        assert_eq!(s.len(), 1);
+        assert!(s[0].covers("wall-clock", 2));
+    }
+}

@@ -1,0 +1,113 @@
+//! The linter's own acceptance test: the workspace must be clean.
+//!
+//! This ties the determinism/panic-safety invariants into tier-1: any PR
+//! that introduces a HashMap into the simulator, an unwrap into policy
+//! code, or a bare `fs::write` anywhere fails `cargo test` before it
+//! even reaches CI's dedicated lint job.
+
+use std::path::{Path, PathBuf};
+
+use soe_lint::baseline::Baseline;
+use soe_lint::diag::{render_text, summarize, Waiver};
+use soe_lint::engine::analyze_workspace;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("lint crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn load_baseline(root: &Path) -> Baseline {
+    let path = root.join("lint-baseline.txt");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Baseline::parse(&text).expect("baseline parses"),
+        Err(_) => Baseline::default(),
+    }
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let baseline = load_baseline(&root);
+    let analysis = analyze_workspace(&root, &baseline).expect("workspace scan succeeds");
+    assert!(
+        analysis.files > 50,
+        "scan looks truncated: only {} files",
+        analysis.files
+    );
+    if analysis.has_errors() {
+        let summary = summarize(&analysis.findings, analysis.files);
+        panic!(
+            "soe-lint found errors:\n{}",
+            render_text(&analysis.findings, summary, false)
+        );
+    }
+}
+
+#[test]
+fn every_suppression_in_the_tree_is_justified() {
+    // An allow comment with no reason after the rule list defeats the
+    // point of suppressions-as-documentation. Enforce the
+    // `allow(rule): reason` shape over the real tree.
+    let root = workspace_root();
+    let files = soe_lint::engine::workspace_files(&root).expect("walk");
+    let mut unjustified = Vec::new();
+    for path in files {
+        let content = std::fs::read_to_string(&path).expect("read source");
+        for (i, line) in content.lines().enumerate() {
+            let Some(idx) = line.find("soe-lint: allow(") else {
+                continue;
+            };
+            // Only actual suppression comments: nothing but whitespace
+            // and comment punctuation before the marker. Doc prose and
+            // string fixtures that merely mention the syntax don't
+            // suppress anything and are skipped.
+            if !line[..idx]
+                .chars()
+                .all(|c| c.is_whitespace() || matches!(c, '/' | '!' | '*'))
+            {
+                continue;
+            }
+            let rest = &line[idx..];
+            // Reason = a colon after the closing paren, followed by
+            // non-empty text.
+            let ok = rest
+                .find(')')
+                .map(|close| {
+                    let tail = rest[close + 1..].trim_start();
+                    tail.starts_with(':') && !tail[1..].trim().is_empty()
+                })
+                .unwrap_or(false);
+            if !ok {
+                unjustified.push(format!("{}:{}: {}", path.display(), i + 1, line.trim()));
+            }
+        }
+    }
+    assert!(
+        unjustified.is_empty(),
+        "suppressions without a `: reason` tail:\n  {}",
+        unjustified.join("\n  ")
+    );
+}
+
+#[test]
+fn baseline_if_present_has_no_stale_entries() {
+    let root = workspace_root();
+    let baseline = load_baseline(&root);
+    let analysis = analyze_workspace(&root, &baseline).expect("workspace scan succeeds");
+    assert!(
+        analysis.stale_baseline.is_empty(),
+        "stale baseline entries (regenerate with --update-baseline): {:?}",
+        analysis.stale_baseline
+    );
+    // The repo's goal state: nothing grandfathered at all.
+    let baselined = analysis
+        .findings
+        .iter()
+        .filter(|f| f.waiver == Waiver::Baselined)
+        .count();
+    assert_eq!(baselined, 0, "no findings should need the baseline");
+}

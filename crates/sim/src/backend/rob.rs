@@ -120,16 +120,19 @@ impl Rob {
         self.entries.front()
     }
 
-    /// Retires (removes) the oldest entry.
+    /// Retires (removes) the oldest entry, or returns `None` when the
+    /// ROB is empty.
     ///
     /// # Panics
     ///
-    /// Panics if empty or if the head is not `Done`.
-    pub fn pop_head(&mut self) -> RobEntry {
-        let e = self.entries.pop_front().expect("ROB empty");
+    /// Panics if the head exists but is not `Done` — retiring an
+    /// incomplete entry is a pipeline-ordering bug, never a recoverable
+    /// condition.
+    pub fn pop_head(&mut self) -> Option<RobEntry> {
+        let e = self.entries.pop_front()?;
         assert_eq!(e.state, EntryState::Done, "retiring incomplete entry");
         self.head_index += 1;
-        e
+        Some(e)
     }
 
     /// Shared access by stream position.
@@ -225,7 +228,7 @@ mod tests {
         rob.push(0, alu(0), false);
         rob.push(1, alu(4), false);
         rob.get_mut(0).unwrap().state = EntryState::Done;
-        let e = rob.pop_head();
+        let e = rob.pop_head().expect("head exists");
         assert_eq!(e.index, 0);
         assert_eq!(rob.head_index(), 1);
         assert_eq!(rob.len(), 1);
@@ -243,7 +246,7 @@ mod tests {
     fn retiring_waiting_entry_panics() {
         let mut rob = Rob::new(4);
         rob.push(0, alu(0), false);
-        rob.pop_head();
+        let _ = rob.pop_head();
     }
 
     #[test]
@@ -263,7 +266,7 @@ mod tests {
         let mut rob = Rob::new(4);
         rob.push(0, alu(0), false);
         rob.get_mut(0).unwrap().state = EntryState::Done;
-        rob.pop_head();
+        let _ = rob.pop_head();
         rob.push(1, alu(4), false);
         assert!(rob.producer_done(1, 1));
     }

@@ -77,6 +77,10 @@ impl CacheConfig {
             self.ways
         );
         ensure!(self.mshrs > 0, "{name}: need at least one MSHR (got 0)");
+        ensure!(
+            self.hit_latency > 0,
+            "{name}: hit latency must be at least one cycle (got 0)"
+        );
         Ok(())
     }
 
@@ -88,6 +92,7 @@ impl CacheConfig {
     /// parameter.
     pub fn validate(&self) {
         if let Err(e) = self.check("cache") {
+            // soe-lint: allow(panic-macro): documented panicking wrapper; callers wanting errors use check()
             panic!("{e}");
         }
     }
@@ -350,6 +355,38 @@ impl MachineConfig {
             self.bus_cycles_per_transfer > 0,
             "bus occupancy must be positive"
         );
+        let pr = &self.predictor;
+        ensure!(
+            pr.history_bits <= 32,
+            "history length must fit the 32-bit global history register (got {})",
+            pr.history_bits
+        );
+        ensure!(
+            pr.pht_bits > 0 && pr.pht_bits <= 30,
+            "PHT size must be 2^1..2^30 entries (got 2^{})",
+            pr.pht_bits
+        );
+        ensure!(
+            pr.btb_entries > 0 && pr.btb_entries.is_power_of_two(),
+            "BTB entries must be a power of two (got {})",
+            pr.btb_entries
+        );
+        ensure!(
+            pr.mispredict_penalty > 0,
+            "mispredict penalty must be at least one cycle (got 0)"
+        );
+        // No invariant to enforce: any prefetch degree (0 disables), any
+        // drain interval (0 commits instantly), any drain latency (0
+        // models a free switch), and both fast-forward settings are
+        // legal machines.
+        let _ = (
+            pr.kind,
+            self.l2_prefetch_degree,
+            self.store_drain_interval,
+            self.soe.drain_latency,
+            self.soe.switch_on_l1_miss,
+            self.fast_forward,
+        );
         Ok(())
     }
 
@@ -361,6 +398,7 @@ impl MachineConfig {
     /// parameter.
     pub fn validate(&self) {
         if let Err(e) = self.check() {
+            // soe-lint: allow(panic-macro): documented panicking wrapper; callers wanting errors use check()
             panic!("{e}");
         }
     }

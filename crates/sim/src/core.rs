@@ -179,7 +179,16 @@ impl Machine {
     /// Architectural position (committed instruction count) of `tid`,
     /// unaffected by [`Machine::reset_stats`].
     pub fn position(&self, tid: ThreadId) -> InstrIndex {
+        // soe-lint: allow(slice-index): every per-thread vector is sized to traces.len() at construction and ThreadIds never exceed it
         self.positions[tid.index()]
+    }
+
+    /// Funnel for per-thread stats: the single bounds-carrying access
+    /// point for `stats.threads` (everywhere a disjoint field borrow is
+    /// not required).
+    fn thread_stats_mut(&mut self, tid: ThreadId) -> &mut crate::stats::ThreadStats {
+        // soe-lint: allow(slice-index): every per-thread vector is sized to traces.len() at construction and ThreadIds never exceed it
+        &mut self.stats.threads[tid.index()]
     }
 
     /// Zeroes the statistics while keeping all microarchitectural and
@@ -257,9 +266,12 @@ impl Machine {
                     {
                         break;
                     }
-                    let e = self.rob.pop_head();
+                    let Some(e) = self.rob.pop_head() else { break };
                     progress = true;
                     self.note_retire(now);
+                    // Direct index (not thread_stats_mut): the disjoint
+                    // field borrow lets `self.hier` run while `t` lives.
+                    // soe-lint: allow(slice-index): every per-thread vector is sized to traces.len() at construction
                     let t = &mut self.stats.threads[self.current.index()];
                     t.retired += 1;
                     match e.uop.kind {
@@ -289,6 +301,7 @@ impl Machine {
                         }
                         _ => {}
                     }
+                    // soe-lint: allow(slice-index): every per-thread vector is sized to traces.len() at construction
                     self.positions[self.current.index()] += 1;
                     if e.uop.kind == UopKind::Pause
                         && self.multi()
@@ -316,7 +329,7 @@ impl Machine {
                         if self.policy.on_miss_stall(self.current, now) == SwitchDecision::Switch
                             && self.multi()
                         {
-                            self.stats.threads[self.current.index()].switch_misses += 1;
+                            self.thread_stats_mut(self.current).switch_misses += 1;
                             self.initiate_switch(now, SwitchReason::MissEvent);
                             return (progress, true);
                         }
@@ -342,7 +355,12 @@ impl Machine {
             if issued >= self.cfg.pipeline.issue_width {
                 break;
             }
-            let e = *self.rob.get(idx).expect("entry exists");
+            // `waiting` indexes were read from the ROB this cycle and
+            // nothing retires between; a vanished entry is a bug we skip
+            // rather than crash on.
+            let Some(e) = self.rob.get(idx).copied() else {
+                continue;
+            };
             let ready = e
                 .uop
                 .src_dist
@@ -389,7 +407,9 @@ impl Machine {
                 }
                 _ => (fu_done, false),
             };
-            let entry = self.rob.get_mut(idx).expect("entry exists");
+            let Some(entry) = self.rob.get_mut(idx) else {
+                continue;
+            };
             entry.state = EntryState::Executing(done.max(now + 1));
             entry.mem_pending = mem_pending;
             issued += 1;
@@ -414,7 +434,11 @@ impl Machine {
                 UopKind::Store if stores >= self.cfg.pipeline.store_buffer => break,
                 _ => {}
             }
-            let e = self.fetch.pop_ready(now).expect("peeked entry");
+            // The loop peeked Some immediately above; a pop miss means
+            // the fetch queue changed under us — stop dispatching.
+            let Some(e) = self.fetch.pop_ready(now) else {
+                break;
+            };
             match e.uop.kind {
                 UopKind::Load => loads += 1,
                 UopKind::Store => stores += 1,
@@ -437,6 +461,7 @@ impl Machine {
             current,
             ..
         } = self;
+        // soe-lint: allow(slice-index): every per-thread vector is sized to traces.len() at construction
         fetch.tick(now, &*traces[current.index()], hier, &mut **predictor, btb) > 0
     }
 
@@ -458,12 +483,12 @@ impl Machine {
         debug_assert!(self.multi(), "switching requires multiple threads");
         let cur = self.current;
         if let Some(start) = self.run_started.take() {
-            self.stats.threads[cur.index()].running_cycles += now - start;
+            self.thread_stats_mut(cur).running_cycles += now - start;
         }
         match reason {
-            SwitchReason::MissEvent => self.stats.threads[cur.index()].event_switches += 1,
-            SwitchReason::Forced => self.stats.threads[cur.index()].forced_switches += 1,
-            SwitchReason::Hint => self.stats.threads[cur.index()].hint_switches += 1,
+            SwitchReason::MissEvent => self.thread_stats_mut(cur).event_switches += 1,
+            SwitchReason::Forced => self.thread_stats_mut(cur).forced_switches += 1,
+            SwitchReason::Hint => self.thread_stats_mut(cur).hint_switches += 1,
         }
         self.stats.total_switches += 1;
         self.policy.on_switch_out(cur, now, reason);
@@ -482,7 +507,7 @@ impl Machine {
     fn complete_switch_in(&mut self, next: ThreadId, now: Cycle) {
         self.current = next;
         self.state = CoreState::Running;
-        let pos = self.positions[next.index()];
+        let pos = self.position(next);
         self.rob.squash(pos);
         self.fetch.restart(pos, now);
         self.run_started = None;
@@ -585,6 +610,7 @@ impl Machine {
     /// the non-panicking form).
     pub fn run_cycles(&mut self, cycles: Cycle) {
         if let Err(e) = self.try_run_cycles(cycles, None) {
+            // soe-lint: allow(panic-macro): documented panicking wrapper; callers wanting errors use try_run_cycles
             panic!("{e}");
         }
     }
@@ -651,6 +677,7 @@ impl Machine {
                 self.positions
             );
             if let Err(e) = self.step(deadline) {
+                // soe-lint: allow(panic-macro): documented panicking wrapper around the try_ stepper
                 panic!("{e}");
             }
         }

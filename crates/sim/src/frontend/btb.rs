@@ -50,6 +50,7 @@ impl Btb {
 
     /// Looks up the predicted target of the branch at `pc`.
     pub fn lookup(&mut self, pc: Addr) -> Option<Addr> {
+        // soe-lint: allow(slice-index): index() masks with len-1 (power-of-two table)
         let e = self.entries[self.index(pc)];
         match e {
             Some((tag, target)) if tag == pc => {
@@ -66,6 +67,7 @@ impl Btb {
     /// Installs or updates the target of the branch at `pc`.
     pub fn update(&mut self, pc: Addr, target: Addr) {
         let idx = self.index(pc);
+        // soe-lint: allow(slice-index): index() masks with len-1 (power-of-two table)
         self.entries[idx] = Some((pc, target));
     }
 

@@ -85,6 +85,7 @@ impl Gshare {
     /// Predicted direction for the branch at `pc` under the current
     /// history, without updating any state.
     pub fn predict(&self, pc: Addr) -> bool {
+        // soe-lint: allow(slice-index): index() masks with pht_mask = len-1 (power-of-two table)
         self.pht[self.index(pc)] >= 2
     }
 
@@ -92,6 +93,7 @@ impl Gshare {
     /// without recording a prediction.
     pub fn train(&mut self, pc: Addr, taken: bool) {
         let idx = self.index(pc);
+        // soe-lint: allow(slice-index): index() masks with pht_mask = len-1 (power-of-two table)
         let c = &mut self.pht[idx];
         if taken {
             *c = (*c + 1).min(3);
@@ -256,11 +258,13 @@ impl Bimodal {
 
     /// Prediction without updating state.
     pub fn predict(&self, pc: Addr) -> bool {
+        // soe-lint: allow(slice-index): index() masks with len-1 (power-of-two table)
         self.pht[self.index(pc)] >= 2
     }
 
     fn train(&mut self, pc: Addr, taken: bool) {
         let idx = self.index(pc);
+        // soe-lint: allow(slice-index): index() masks with len-1 (power-of-two table)
         let c = &mut self.pht[idx];
         if taken {
             *c = (*c + 1).min(3);
@@ -315,6 +319,7 @@ impl DirectionPredictor for Tournament {
         let g = self.gshare.predict(pc);
         let b = self.bimodal.predict(pc);
         let idx = ((pc >> 2) & self.mask) as usize;
+        // soe-lint: allow(slice-index): idx masked with len-1 (power-of-two chooser table)
         let prediction = if self.chooser[idx] >= 2 { g } else { b };
         self.stats.predictions += 1;
         if prediction != taken {
@@ -323,6 +328,7 @@ impl DirectionPredictor for Tournament {
         // Chooser trains toward whichever component was right (only when
         // they disagree).
         if g != b {
+            // soe-lint: allow(slice-index): idx masked with len-1 (power-of-two chooser table)
             let c = &mut self.chooser[idx];
             if g == taken {
                 *c = (*c + 1).min(3);

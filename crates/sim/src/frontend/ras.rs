@@ -48,6 +48,7 @@ impl Ras {
     /// Pushes a return address (a call was fetched).
     pub fn push(&mut self, addr: Addr) {
         self.top = (self.top + 1) % self.entries.len();
+        // soe-lint: allow(slice-index): top is always reduced modulo len
         self.entries[self.top] = addr;
         self.live = (self.live + 1).min(self.entries.len());
     }
@@ -57,6 +58,7 @@ impl Ras {
         if self.live == 0 {
             return None;
         }
+        // soe-lint: allow(slice-index): top is always reduced modulo len
         let addr = self.entries[self.top];
         self.top = (self.top + self.entries.len() - 1) % self.entries.len();
         self.live -= 1;

@@ -117,6 +117,7 @@ impl Cache {
 
     fn set(&mut self, addr: Addr) -> &mut [Line] {
         let idx = self.set_index(addr);
+        // soe-lint: allow(slice-index): set_index masks with sets-1 and lines has sets*ways entries
         &mut self.lines[idx * self.cfg.ways..(idx + 1) * self.cfg.ways]
     }
 
@@ -141,6 +142,7 @@ impl Cache {
     pub fn probe(&self, addr: Addr) -> bool {
         let tag = self.tag(addr);
         let idx = self.set_index(addr);
+        // soe-lint: allow(slice-index): set_index masks with sets-1 and lines has sets*ways entries
         self.lines[idx * self.cfg.ways..(idx + 1) * self.cfg.ways]
             .iter()
             .any(|l| l.valid && l.tag == tag)
@@ -170,6 +172,7 @@ impl Cache {
         let ways = self.cfg.ways;
         let sets_shift = self.cfg.sets.trailing_zeros();
         let line_shift = self.line_shift;
+        // soe-lint: allow(slice-index): set_index masks with sets-1 and lines has sets*ways entries
         let set = &mut self.lines[set_idx * ways..(set_idx + 1) * ways];
 
         // Refill of an already-present line just refreshes it.
@@ -181,6 +184,7 @@ impl Cache {
         let victim = set
             .iter_mut()
             .min_by_key(|l| if l.valid { l.last_use } else { 0 })
+            // soe-lint: allow(panic-unwrap): CacheConfig::check rejects ways == 0, so every set is non-empty
             .expect("ways > 0");
         let evicted = victim.valid.then(|| Eviction {
             line_addr: (victim.tag << sets_shift | set_idx as u64) << line_shift,

@@ -70,7 +70,9 @@ pub struct Hierarchy {
     prefetch_degree: usize,
     /// Prefetched lines not yet touched by demand (for usefulness
     /// accounting).
-    prefetched: std::collections::HashSet<Addr>,
+    // BTreeSet keeps the simulator free of hash-order state even though
+    // this set is only probed point-wise today.
+    prefetched: std::collections::BTreeSet<Addr>,
     stats: HierarchyStats,
 }
 
@@ -93,7 +95,7 @@ impl Hierarchy {
             dtlb: Tlb::new(cfg.dtlb),
             mem_latency: cfg.mem_latency,
             prefetch_degree: cfg.l2_prefetch_degree,
-            prefetched: std::collections::HashSet::new(),
+            prefetched: std::collections::BTreeSet::new(),
             stats: HierarchyStats::default(),
         }
     }

@@ -1,7 +1,7 @@
 //! Miss status holding registers — outstanding-miss tracking that enables
 //! overlapped (clustered) cache misses.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::types::{Addr, Cycle};
 
@@ -29,7 +29,9 @@ use crate::types::{Addr, Cycle};
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    inflight: HashMap<Addr, Cycle>,
+    // BTreeMap, not HashMap: `values().min()` ties break identically on
+    // every run, keeping fill timing bit-deterministic.
+    inflight: BTreeMap<Addr, Cycle>,
 }
 
 impl MshrFile {
@@ -42,7 +44,7 @@ impl MshrFile {
         assert!(capacity > 0, "need at least one MSHR");
         Self {
             capacity,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
         }
     }
 
@@ -64,11 +66,9 @@ impl MshrFile {
         if self.inflight.len() < self.capacity {
             now
         } else {
-            self.inflight
-                .values()
-                .copied()
-                .min()
-                .expect("full file is non-empty")
+            // The file is full here (len == capacity >= 1), so min()
+            // is always Some; the fallback is unreachable.
+            self.inflight.values().copied().min().unwrap_or(now)
         }
     }
 

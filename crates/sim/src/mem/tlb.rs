@@ -84,6 +84,7 @@ impl Tlb {
                 .enumerate()
                 .min_by_key(|(_, (_, u))| *u)
                 .map(|(i, _)| i)
+                // soe-lint: allow(panic-unwrap): len == cfg.entries >= 1 in this branch, so min exists
                 .expect("non-empty");
             self.entries.swap_remove(lru);
         }

@@ -91,7 +91,9 @@ impl MachineStats {
         if self.cycles == 0 {
             0.0
         } else {
-            self.threads[thread].retired as f64 / self.cycles as f64
+            self.threads
+                .get(thread)
+                .map_or(0.0, |t| t.retired as f64 / self.cycles as f64)
         }
     }
 

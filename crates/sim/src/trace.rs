@@ -102,6 +102,7 @@ impl PatternTrace {
 
 impl TraceSource for PatternTrace {
     fn uop_at(&self, index: InstrIndex) -> Uop {
+        // soe-lint: allow(slice-index): new() rejects empty patterns and the index is reduced modulo len
         self.pattern[(index % self.pattern.len() as u64) as usize]
     }
     fn name(&self) -> &str {

@@ -132,6 +132,7 @@ impl Uop {
     /// Panics if this is a memory op without an address (trace bug).
     pub fn mem_addr(&self) -> Addr {
         self.mem_addr
+            // soe-lint: allow(panic-unwrap): documented panicking accessor; a missing address is a trace-generation bug
             .expect("memory micro-op must carry an address")
     }
 }

@@ -62,6 +62,20 @@ fn checkpoint_resume_matches_continuous_stream() {
 }
 
 #[test]
+fn repeated_matrix_runs_produce_identical_result_set_json() {
+    // Guards the no-unordered-collections invariant end to end: two
+    // back-to-back runs of the same matrix in the same process must
+    // serialize to byte-identical JSON. HashMap's per-instance hash
+    // seed would make any iteration-order dependence visible here.
+    let cfg = soe_core::runner::RunConfig::quick();
+    let json = || {
+        serde_json::to_string(&soe_bench::experiments::run_matrix(&cfg, 2))
+            .expect("serialize result set")
+    };
+    assert_eq!(json(), json(), "ResultSet JSON diverged between runs");
+}
+
+#[test]
 fn parallel_matrix_is_bit_identical_to_serial() {
     // The acceptance bar for the pool: the full quick-sizing experiment
     // matrix, serialized to JSON, must be byte-for-byte identical

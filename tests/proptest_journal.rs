@@ -6,7 +6,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use proptest::prelude::*;
-use soe_core::Journal;
+use soe_core::{atomic_write, Journal};
 
 static CASE: AtomicUsize = AtomicUsize::new(0);
 
@@ -51,7 +51,7 @@ proptest! {
         let records = build(&path, n);
         let raw = std::fs::read(&path).unwrap();
         let cut = (raw.len() as f64 * cut_frac) as usize;
-        std::fs::write(&path, &raw[..cut]).unwrap();
+        atomic_write(&path, &raw[..cut]).unwrap();
 
         let j = Journal::open(&path).unwrap();
         // Recovered records are exactly the fully-written prefix.
@@ -88,7 +88,7 @@ proptest! {
             let pos = pos % raw.len();
             raw[pos] ^= 1u8 << bit;
         }
-        std::fs::write(&path, &raw).unwrap();
+        atomic_write(&path, &raw).unwrap();
 
         let mut j = Journal::open(&path).unwrap();
         prop_assert!(j.len() <= n);

@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 use soe_bench::experiments::{run_matrix, run_matrix_supervised, MatrixOptions};
 use soe_core::runner::RunConfig;
-use soe_core::{FailureKind, FaultPlan};
+use soe_core::{atomic_write, FailureKind, FaultPlan};
 
 /// A matrix sizing small enough to run several times in one test binary
 /// while still exercising every phase (references, all pair levels).
@@ -71,7 +71,7 @@ fn journaled_resume_is_byte_identical_after_simulated_kill() {
         partial.push(b'\n');
     }
     partial.extend_from_slice(&lines[k][..lines[k].len() / 2]);
-    std::fs::write(&journal, &partial).unwrap();
+    atomic_write(&journal, &partial).unwrap();
 
     // Resume: the k intact records replay from the journal, the torn
     // line is dropped, the rest re-simulates — and the final JSON is
