@@ -5,7 +5,7 @@
 //! The paper fixes Δ = 250 000, quota = 50 000 and a ~25-cycle switch;
 //! this binary shows those are reasonable points, not magic ones.
 
-use soe_bench::{banner, run_config, run_supervised, Cli};
+use soe_bench::{banner, run_config, run_supervised, write_observability, Cli};
 use soe_core::pool::Job;
 use soe_core::runner::{try_run_pair_with_policy, RunConfig};
 use soe_core::{FairnessConfig, FairnessPolicy};
@@ -54,6 +54,7 @@ fn main() {
         "Ablation: mechanism parameter sensitivity (swim:eon, F = 1/2)",
         sizing,
     );
+    write_observability(&cli);
     let base_cfg = run_config(sizing);
     let pair = Pair {
         a: "swim",

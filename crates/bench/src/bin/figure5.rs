@@ -3,7 +3,7 @@
 //! enforcement (middle), and achieved fairness over time (bottom),
 //! with fairness enforced to F = 1/4.
 
-use soe_bench::{banner, run_config, run_supervised, save_svg, Cli};
+use soe_bench::{banner, run_config, run_supervised, save_svg, write_observability, Cli};
 use soe_core::pool::Job;
 use soe_core::runner::try_run_single;
 use soe_core::timeseries::{estimated_ipc_st_series, fairness_series, speedup_series};
@@ -69,6 +69,7 @@ fn main() {
         "Figure 5: gcc:eon — IPC_ST estimation, speedups and achieved fairness (F = 1/4)",
         sizing,
     );
+    write_observability(&cli);
     let cfg = run_config(sizing);
     let pair = Pair { a: "gcc", b: "eon" };
 

@@ -2,7 +2,7 @@
 //! stacked `IPC_SOE` at F = 0, 1/4, 1/2, 1, next to the single-thread
 //! IPCs, plus the average SOE speedup over single thread.
 
-use soe_bench::{banner, experiments::full_results, Cli};
+use soe_bench::{banner, experiments::full_results, write_observability, Cli};
 use soe_model::FairnessLevel;
 use soe_stats::{fnum, Align, Summary, Table};
 
@@ -10,6 +10,7 @@ fn main() {
     let cli = Cli::parse_or_exit();
     let sizing = cli.sizing;
     banner("Figure 6: IPC_SOE per pair and fairness level", sizing);
+    write_observability(&cli);
     let results = full_results(sizing, &cli);
 
     let mut t = Table::new(vec![

@@ -1,7 +1,7 @@
 //! Figure 7 — throughput degradation caused by fairness enforcement
 //! (normalized to F = 0) and forced thread switches per 1 000 cycles.
 
-use soe_bench::{banner, experiments::full_results, save_svg, Cli};
+use soe_bench::{banner, experiments::full_results, save_svg, write_observability, Cli};
 use soe_stats::{fnum, pearson, Align, Summary, Table};
 
 fn main() {
@@ -11,6 +11,7 @@ fn main() {
         "Figure 7: throughput degradation and forced switches per 1000 cycles",
         sizing,
     );
+    write_observability(&cli);
     let results = full_results(sizing, &cli);
 
     let mut t = Table::new(vec![

@@ -2,7 +2,7 @@
 //! values ordered by the F = 0 fairness (left), and the truncated
 //! averages `min(F, achieved)` with standard deviations (right).
 
-use soe_bench::{banner, experiments::full_results, save_svg, Cli};
+use soe_bench::{banner, experiments::full_results, save_svg, write_observability, Cli};
 use soe_model::FairnessLevel;
 use soe_stats::{fnum, Align, Summary, Table};
 
@@ -13,6 +13,7 @@ fn main() {
         "Figure 8: achieved fairness with and without enforcement",
         sizing,
     );
+    write_observability(&cli);
     let results = full_results(sizing, &cli);
 
     // Order runs by their achieved fairness without enforcement, as the

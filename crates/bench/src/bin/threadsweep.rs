@@ -7,7 +7,7 @@
 //! additional threads stop helping and only add switch overhead and cache
 //! pressure.
 
-use soe_bench::{banner, run_config, run_supervised, Cli};
+use soe_bench::{banner, run_config, run_supervised, write_observability, Cli};
 use soe_core::pool::Job;
 use soe_core::runner::{run_multi, try_run_single};
 use soe_model::FairnessLevel;
@@ -25,6 +25,7 @@ fn main() {
         "Thread-count sweep: SOE throughput vs number of threads",
         sizing,
     );
+    write_observability(&cli);
     let cfg = run_config(sizing);
     let roster = ROSTER;
 

@@ -1,0 +1,46 @@
+//! Validates a captured `soe-trace/1` JSONL file: wire-format
+//! well-formedness plus every stream invariant (cycle order, switch
+//! alternation, miss/fill pairing, monotone retire samples).
+//!
+//! Usage: `tracecheck <trace.jsonl>`. Exits 0 and prints a summary when
+//! the trace is valid, 1 with the violation when it is not, and 2 on
+//! usage or I/O errors. CI runs this against the smoke capture.
+
+use soe_core::obs::check_jsonl;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (path, extra) = (args.next(), args.next());
+    let path = match (path, extra) {
+        (Some(p), None) if p != "--help" && p != "-h" => p,
+        _ => {
+            eprintln!("usage: tracecheck <trace.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match check_jsonl(&text) {
+        Ok(summary) => {
+            println!(
+                "{path}: OK — {} events ({} dropped), cycles {}..{}",
+                summary.events,
+                summary.dropped,
+                summary.first_at.unwrap_or(0),
+                summary.last_at.unwrap_or(0),
+            );
+            for (kind, count) in &summary.by_kind {
+                println!("  {kind:<18} {count}");
+            }
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}

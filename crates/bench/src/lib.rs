@@ -11,6 +11,12 @@
 //! pooled sweeps additionally understand the supervision flags parsed
 //! by [`Cli`]: `--resume`, `--timeout SECS`, `--retries N`, plus the
 //! `SOE_FAULTS` chaos-injection environment variable.
+//!
+//! Every [`Cli`] binary also honours the observability flags: `--trace
+//! PATH` captures a deterministic cycle-level event trace of the
+//! reference pair (JSONL + Chrome trace + series CSV, see
+//! [`write_observability`]) and `--metrics PATH` writes the matching
+//! metrics-registry CSV.
 
 pub mod experiments;
 
@@ -100,6 +106,7 @@ fn usage_error(message: &str) -> ! {
 /// The flags shared by the supervised experiment binaries.
 const USAGE: &str = "\
 usage: <binary> [--quick] [--force] [--resume] [--jobs N] [--timeout SECS] [--retries N]
+                [--trace PATH] [--metrics PATH]
 
   --quick         scaled-down smoke sizing (default: full paper sizing)
   --force         ignore an existing results cache and recompute
@@ -107,6 +114,10 @@ usage: <binary> [--quick] [--force] [--resume] [--jobs N] [--timeout SECS] [--re
   --jobs N        worker threads (default: SOE_JOBS or available cores)
   --timeout SECS  per-run watchdog; 0 disables (default: 1800)
   --retries N     retries per failing run before quarantine (default: 2)
+  --trace PATH    also capture a traced reference run: JSONL events at
+                  PATH, plus PATH.chrome.json (Perfetto) and
+                  PATH.series.csv (time series)
+  --metrics PATH  write the traced reference run's metrics registry as CSV
 
 environment:
   SOE_JOBS        default worker threads
@@ -115,8 +126,9 @@ environment:
 
 /// Parsed command line for the supervised experiment binaries: sizing,
 /// cache control, resume, worker count, and the per-run watchdog /
-/// retry budget fed into [`SuperviseOptions`].
-#[derive(Debug, Clone, Copy)]
+/// retry budget fed into [`SuperviseOptions`], plus the observability
+/// capture paths (`--trace` / `--metrics`).
+#[derive(Debug, Clone)]
 pub struct Cli {
     /// Experiment sizing (`--quick`).
     pub sizing: Sizing,
@@ -131,6 +143,12 @@ pub struct Cli {
     pub timeout: Option<Duration>,
     /// Retries per failing run before quarantine.
     pub retries: u32,
+    /// Capture a traced reference run: events as JSONL here, plus the
+    /// Chrome trace and series CSV siblings (`--trace`).
+    pub trace: Option<String>,
+    /// Write the traced reference run's metrics registry as CSV here
+    /// (`--metrics`).
+    pub metrics: Option<String>,
 }
 
 impl Cli {
@@ -160,6 +178,8 @@ impl Cli {
             workers: 0,
             timeout: Some(Duration::from_secs(1_800)),
             retries: 2,
+            trace: None,
+            metrics: None,
         };
         let mut explicit_jobs = None;
         let mut args = args.fuse();
@@ -182,6 +202,10 @@ impl Cli {
                         cli.retries = v.parse::<u32>().map_err(|_| {
                             format!("--retries expects a non-negative integer, got {v:?}")
                         })?;
+                    } else if let Some(v) = flag_value(&arg, "--trace", &mut args) {
+                        cli.trace = Some(v?);
+                    } else if let Some(v) = flag_value(&arg, "--metrics", &mut args) {
+                        cli.metrics = Some(v?);
                     } else {
                         return Err(format!("unknown flag {arg:?}"));
                     }
@@ -268,6 +292,115 @@ pub fn save_svg(name: &str, svg: &str) {
     }
 }
 
+/// The artifacts of one observability capture, already serialized and
+/// self-validated: the JSONL event stream, its Chrome `trace_event`
+/// rendering, the extracted time series, and the metrics registry.
+#[derive(Debug, Clone)]
+pub struct Observability {
+    /// Compact JSONL event stream (`soe-trace/1`), checker-validated.
+    pub jsonl: String,
+    /// Chrome `trace_event` JSON for Perfetto / `chrome://tracing`.
+    pub chrome: String,
+    /// `series,x,y` CSV of the extracted time series.
+    pub series_csv: String,
+    /// `kind,name,value` CSV of the metrics registry (event counts
+    /// merged with the run's aggregate metrics).
+    pub metrics_csv: String,
+    /// The checker's summary of the validated event stream.
+    pub summary: soe_core::obs::TraceSummary,
+}
+
+/// Runs the traced reference pair — `swim:eon` at F = 1/2, a
+/// memory-bound/compute-bound pairing that exercises misses, estimator
+/// windows and forced switches — and serializes every observability
+/// artifact. The captured JSONL is validated with
+/// [`soe_core::obs::check_jsonl`] before being returned, so a trace
+/// that violates the stream invariants can never be written to disk.
+///
+/// Fully deterministic: two calls at the same sizing return
+/// byte-identical artifacts.
+///
+/// # Errors
+///
+/// A human-readable message if a simulation fails or the captured
+/// trace fails validation.
+pub fn observe_pair(sizing: Sizing) -> Result<Observability, String> {
+    use soe_core::obs;
+    use soe_core::runner::{try_run_pair_traced, try_run_single};
+
+    let cfg = run_config(sizing);
+    let pair = soe_workloads::Pair {
+        a: "swim",
+        b: "eon",
+    };
+    let singles: Vec<soe_core::SingleRun> = [pair.a, pair.b]
+        .iter()
+        .map(|name| {
+            let profile = soe_workloads::spec::profile(name)
+                .ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+            let trace = soe_workloads::SyntheticTrace::new(profile, 0x10_0000_0000, 0);
+            try_run_single(Box::new(trace), &cfg).map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, String>>()?;
+    let traced = try_run_pair_traced(&pair, soe_model::FairnessLevel::HALF, &singles, &cfg)
+        .map_err(|e| e.to_string())?;
+    let names = [pair.a, pair.b];
+    let jsonl = obs::trace_jsonl(&traced.trace, &names);
+    let summary =
+        obs::check_jsonl(&jsonl).map_err(|e| format!("captured trace failed validation: {e}"))?;
+    let chrome = obs::chrome_trace(&traced.trace, &names);
+    let series_csv = soe_stats::series_to_csv(&obs::trace_series(&traced.trace));
+    let mut metrics = obs::metrics::from_trace(&traced.trace);
+    metrics.merge(&obs::metrics::from_pair_run(&traced.run));
+    Ok(Observability {
+        jsonl,
+        chrome,
+        series_csv,
+        metrics_csv: metrics.to_csv(),
+        summary,
+    })
+}
+
+/// Honours `--trace` / `--metrics`: captures the traced reference run
+/// and writes the requested artifacts (atomically), printing where
+/// each went. A no-op when neither flag was given; exits with status 1
+/// if the capture fails or an artifact cannot be written.
+pub fn write_observability(cli: &Cli) {
+    if cli.trace.is_none() && cli.metrics.is_none() {
+        return;
+    }
+    eprintln!("[obs] capturing traced reference run (swim:eon, F=1/2)...");
+    let obs = match observe_pair(cli.sizing) {
+        Ok(obs) => obs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[obs] trace validated: {} events, {} dropped",
+        obs.summary.events, obs.summary.dropped
+    );
+    let mut outputs: Vec<(String, &str)> = Vec::new();
+    if let Some(path) = &cli.trace {
+        outputs.push((path.clone(), obs.jsonl.as_str()));
+        outputs.push((format!("{path}.chrome.json"), obs.chrome.as_str()));
+        outputs.push((format!("{path}.series.csv"), obs.series_csv.as_str()));
+    }
+    if let Some(path) = &cli.metrics {
+        outputs.push((path.clone(), obs.metrics_csv.as_str()));
+    }
+    for (path, data) in outputs {
+        match soe_core::atomic_write(std::path::Path::new(&path), data.as_bytes()) {
+            Ok(()) => println!("[obs] wrote {path}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 /// Prints a figure/table header banner.
 pub fn banner(title: &str, sizing: Sizing) {
     println!("==========================================================");
@@ -313,6 +446,8 @@ mod tests {
         assert_eq!(cli.timeout, Some(Duration::from_secs(1_800)));
         assert_eq!(cli.retries, 2);
         assert!(cli.workers >= 1);
+        assert_eq!(cli.trace, None);
+        assert_eq!(cli.metrics, None);
     }
 
     #[test]
@@ -326,6 +461,9 @@ mod tests {
             "--timeout=90",
             "--retries",
             "0",
+            "--trace",
+            "out/run.jsonl",
+            "--metrics=out/metrics.csv",
         ])
         .unwrap();
         assert_eq!(cli.sizing, Sizing::Quick);
@@ -334,6 +472,8 @@ mod tests {
         assert_eq!(cli.workers, 3);
         assert_eq!(cli.timeout, Some(Duration::from_secs(90)));
         assert_eq!(cli.retries, 0);
+        assert_eq!(cli.trace.as_deref(), Some("out/run.jsonl"));
+        assert_eq!(cli.metrics.as_deref(), Some("out/metrics.csv"));
     }
 
     #[test]
@@ -349,6 +489,8 @@ mod tests {
             &["--jobs"],
             &["--timeout", "soon"],
             &["--retries", "-1"],
+            &["--trace"],
+            &["--metrics"],
             &["--frobnicate"],
         ] {
             let err = parse(bad).unwrap_err();

@@ -48,6 +48,7 @@ mod counters;
 mod deficit;
 mod estimator;
 mod metrics;
+pub mod obs;
 mod policy;
 pub mod pool;
 pub mod runner;
@@ -60,6 +61,7 @@ pub use estimator::{
     quotas_from_estimates, weighted_quotas_from_estimates, Estimator, WindowRecord,
 };
 pub use metrics::{PairRun, SingleRun, ThreadOutcome};
+pub use obs::MetricsRegistry;
 pub use policy::{FairnessConfig, FairnessPolicy, MissLatencyMode, TimeSlicePolicy};
 pub use pool::{resolve_workers, run_jobs, try_run_jobs, Job, JobError, PoolOptions};
 pub use supervise::{

@@ -1,0 +1,255 @@
+//! A typed counters/gauges metrics registry with a CSV wire format.
+//!
+//! Counters are monotone `u64` totals (events, switches, cycles);
+//! gauges are `f64` point-in-time values (fairness, IPC). Backed by
+//! `BTreeMap` so iteration — and therefore the CSV export — is
+//! deterministic.
+
+use std::collections::BTreeMap;
+
+use soe_sim::obs::{EventKind, Trace};
+
+use crate::metrics::PairRun;
+use crate::obs::fmt_f64;
+
+/// The registry: named counters and gauges.
+///
+/// # Examples
+///
+/// ```
+/// use soe_core::obs::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.inc("events.l2_miss", 3);
+/// m.set_gauge("fairness", 0.82);
+/// let csv = m.to_csv();
+/// assert_eq!(MetricsRegistry::from_csv(&csv).unwrap(), m);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named counter (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Reads a counter (`None` if never incremented).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Number of entries (counters + gauges).
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len()
+    }
+
+    /// Whether the registry holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    /// Merges `other` into `self`: counters add, gauges overwrite.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+    }
+
+    /// Serializes as `kind,name,value` CSV with a header row, sorted by
+    /// name within each kind — byte-stable for identical contents.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,value\n");
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter,{k},{v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge,{k},{}\n", fmt_f64(*v)));
+        }
+        out
+    }
+
+    /// Parses the [`MetricsRegistry::to_csv`] format. Round-trips
+    /// exactly: counters are integers and gauges use the shortest
+    /// `f64` representation.
+    ///
+    /// # Errors
+    ///
+    /// A descriptive message naming the first malformed line.
+    pub fn from_csv(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, "kind,name,value")) => {}
+            other => {
+                return Err(format!(
+                    "metrics csv: expected header 'kind,name,value', got {:?}",
+                    other.map(|(_, l)| l)
+                ))
+            }
+        }
+        let mut reg = Self::new();
+        for (i, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, ',');
+            let (kind, name, value) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(k), Some(n), Some(v)) => (k, n, v),
+                _ => return Err(format!("metrics csv line {}: expected 3 fields", i + 1)),
+            };
+            match kind {
+                "counter" => {
+                    let v = value.parse::<u64>().map_err(|_| {
+                        format!("metrics csv line {}: bad counter {value:?}", i + 1)
+                    })?;
+                    reg.counters.insert(name.to_string(), v);
+                }
+                "gauge" => {
+                    let v = value
+                        .parse::<f64>()
+                        .map_err(|_| format!("metrics csv line {}: bad gauge {value:?}", i + 1))?;
+                    reg.gauges.insert(name.to_string(), v);
+                }
+                _ => return Err(format!("metrics csv line {}: unknown kind {kind:?}", i + 1)),
+            }
+        }
+        Ok(reg)
+    }
+}
+
+/// Event-stream aggregates: total events, drops, per-kind counts, and
+/// per-thread switch activity.
+pub fn from_trace(trace: &Trace) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    m.inc("trace.events", trace.events.len() as u64);
+    m.inc("trace.dropped", trace.dropped);
+    for e in &trace.events {
+        let (kind, tid) = match e.kind {
+            EventKind::SwitchOut { tid, .. } => ("switch_out", Some(tid)),
+            EventKind::SwitchIn { tid } => ("switch_in", Some(tid)),
+            EventKind::L2Miss { .. } => ("l2_miss", None),
+            EventKind::L2Fill { .. } => ("l2_fill", None),
+            EventKind::RetireSample { .. } => ("retire_sample", None),
+            EventKind::EstimatorUpdate { tid, .. } => ("estimator_update", Some(tid)),
+            EventKind::DeficitGrant { tid, .. } => ("deficit_grant", Some(tid)),
+            EventKind::DeficitForce { tid } => ("deficit_force", Some(tid)),
+            EventKind::CycleQuotaExpiry { tid } => ("cycle_quota_expiry", Some(tid)),
+        };
+        m.inc(&format!("events.{kind}"), 1);
+        if let Some(tid) = tid {
+            m.inc(&format!("thread.{tid}.{kind}"), 1);
+        }
+    }
+    m
+}
+
+/// A pair run's aggregates as registry entries (counters for totals,
+/// gauges for derived metrics).
+pub fn from_pair_run(run: &PairRun) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    m.inc("run.cycles", run.cycles);
+    m.inc("run.total_switches", run.total_switches);
+    m.inc("run.event_switches", run.event_switches);
+    m.inc("run.forced_switches", run.forced_switches);
+    m.set_gauge("run.fairness", run.fairness);
+    m.set_gauge("run.throughput", run.throughput);
+    m.set_gauge("run.weighted_speedup", run.weighted_speedup);
+    m.set_gauge("run.avg_switch_latency", run.avg_switch_latency);
+    for (i, t) in run.threads.iter().enumerate() {
+        m.inc(&format!("thread.T{i}.retired"), t.retired);
+        m.set_gauge(&format!("thread.T{i}.ipc_soe"), t.ipc_soe);
+        m.set_gauge(&format!("thread.T{i}.ipc_st"), t.ipc_st);
+        m.set_gauge(&format!("thread.T{i}.speedup"), t.speedup);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soe_sim::obs::TraceEvent;
+    use soe_sim::ThreadId;
+
+    #[test]
+    fn counters_add_and_gauges_overwrite_on_merge() {
+        let mut a = MetricsRegistry::new();
+        a.inc("n", 2);
+        a.set_gauge("g", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.inc("n", 3);
+        b.set_gauge("g", 2.5);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), Some(5));
+        assert_eq!(a.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn csv_round_trips_exactly() {
+        let mut m = MetricsRegistry::new();
+        m.inc("run.cycles", 1_200_000);
+        m.set_gauge("run.fairness", 1.0 / 3.0);
+        m.set_gauge("thread.T0.ipc_st", 2.0f64.sqrt());
+        let csv = m.to_csv();
+        let back = MetricsRegistry::from_csv(&csv).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.to_csv(), csv, "re-serialization is byte-identical");
+    }
+
+    #[test]
+    fn from_csv_rejects_malformed_input() {
+        assert!(MetricsRegistry::from_csv("").is_err());
+        assert!(MetricsRegistry::from_csv("bogus header\n").is_err());
+        assert!(MetricsRegistry::from_csv("kind,name,value\ncounter,x\n").is_err());
+        assert!(MetricsRegistry::from_csv("kind,name,value\ncounter,x,1.5\n").is_err());
+        assert!(MetricsRegistry::from_csv("kind,name,value\nblob,x,1\n").is_err());
+    }
+
+    #[test]
+    fn trace_metrics_count_by_kind_and_thread() {
+        let t0 = ThreadId::new(0);
+        let trace = Trace {
+            events: vec![
+                TraceEvent {
+                    at: 1,
+                    kind: EventKind::SwitchIn { tid: t0 },
+                },
+                TraceEvent {
+                    at: 2,
+                    kind: EventKind::L2Miss { line: 0x40 },
+                },
+                TraceEvent {
+                    at: 300,
+                    kind: EventKind::L2Fill { line: 0x40 },
+                },
+            ],
+            dropped: 0,
+        };
+        let m = from_trace(&trace);
+        assert_eq!(m.counter("trace.events"), Some(3));
+        assert_eq!(m.counter("events.switch_in"), Some(1));
+        assert_eq!(m.counter("thread.T0.switch_in"), Some(1));
+        assert_eq!(m.counter("events.l2_miss"), Some(1));
+        assert_eq!(m.counter("events.l2_fill"), Some(1));
+    }
+}

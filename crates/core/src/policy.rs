@@ -3,6 +3,7 @@
 
 use soe_model::weighted::Weights;
 use soe_model::FairnessLevel;
+use soe_sim::obs::{EventKind, SharedTracer};
 use soe_sim::{Cycle, SwitchDecision, SwitchPolicy, SwitchReason, ThreadId};
 
 use crate::counters::HwCounters;
@@ -151,6 +152,9 @@ pub struct FairnessPolicy {
     /// Optional per-thread service weights (weighted-fairness extension;
     /// `None` = the paper's uniform definition).
     weights: Option<Weights>,
+    /// Optional cycle-level event recorder for the mechanism's own
+    /// events (estimator updates, deficit grants/forces, quota expiry).
+    tracer: Option<SharedTracer>,
     name: String,
 }
 
@@ -173,9 +177,18 @@ impl FairnessPolicy {
             forced_by_cycle_quota: 0,
             measured_lat: cfg.miss_lat,
             weights: None,
+            tracer: None,
             name: format!("fairness({})", cfg.target),
             cfg,
         }
+    }
+
+    /// Attaches a cycle-level event recorder (builder style); share the
+    /// same tracer with [`soe_sim::Machine::attach_tracer`] so mechanism
+    /// events interleave with the machine's switch and miss events.
+    pub fn with_tracer(mut self, tracer: SharedTracer) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Sets per-thread service weights (builder style): speedups are
@@ -237,8 +250,27 @@ impl FairnessPolicy {
         let quotas =
             self.estimator
                 .recalc_weighted(now, &samples, self.cfg.target, self.weights.as_ref());
-        for (d, q) in self.deficits.iter_mut().zip(quotas) {
-            d.set_quota(q);
+        for (d, q) in self.deficits.iter_mut().zip(&quotas) {
+            d.set_quota(*q);
+        }
+        if let Some(t) = &self.tracer {
+            let mut tr = t.borrow_mut();
+            for (i, q) in quotas.iter().enumerate() {
+                let ipc_st = self
+                    .estimator
+                    .estimates()
+                    .get(i)
+                    .and_then(|e| e.as_ref())
+                    .map_or(0.0, |e| e.ipc_st);
+                tr.emit(
+                    now,
+                    EventKind::EstimatorUpdate {
+                        tid: ThreadId::new(i as u8),
+                        ipc_st,
+                        quota: *q,
+                    },
+                );
+            }
         }
     }
 }
@@ -253,7 +285,25 @@ impl SwitchPolicy for FairnessPolicy {
         // soe-lint: allow(slice-index): per-thread vectors are sized to the thread count at construction
         self.counters[tid.index()].on_switch_in();
         // soe-lint: allow(slice-index): per-thread vectors are sized to the thread count at construction
-        self.deficits[tid.index()].on_switch_in();
+        let d = &mut self.deficits[tid.index()];
+        let before = d.deficit();
+        d.on_switch_in();
+        if let Some(t) = &self.tracer {
+            // A grant only exists when a quota is in force; with no
+            // quota the balance is untouched and nothing is recorded.
+            if let Some(quota) = d.quota() {
+                let balance = d.deficit();
+                t.borrow_mut().emit(
+                    now,
+                    EventKind::DeficitGrant {
+                        tid,
+                        credited: balance - before,
+                        balance,
+                        quota,
+                    },
+                );
+            }
+        }
     }
 
     fn on_switch_out(&mut self, tid: ThreadId, now: Cycle, reason: SwitchReason) {
@@ -267,6 +317,9 @@ impl SwitchPolicy for FairnessPolicy {
         // soe-lint: allow(slice-index): per-thread vectors are sized to the thread count at construction
         if self.deficits[tid.index()].on_retire() {
             self.forced_by_deficit += 1;
+            if let Some(t) = &self.tracer {
+                t.borrow_mut().emit(now, EventKind::DeficitForce { tid });
+            }
             SwitchDecision::Switch
         } else {
             SwitchDecision::Continue
@@ -283,7 +336,7 @@ impl SwitchPolicy for FairnessPolicy {
         self.measured_lat += (remaining as f64 - self.measured_lat) / 32.0;
     }
 
-    fn each_cycle(&mut self, _tid: ThreadId, now: Cycle) -> SwitchDecision {
+    fn each_cycle(&mut self, tid: ThreadId, now: Cycle) -> SwitchDecision {
         if self.estimator.due(now) {
             self.recalc(now);
         }
@@ -292,6 +345,10 @@ impl SwitchPolicy for FairnessPolicy {
         // with F = 0 the machine is plain event-only SOE.
         if self.cfg.target.is_enforced() && now - self.switch_in_at >= self.cfg.max_cycles_quota {
             self.forced_by_cycle_quota += 1;
+            if let Some(t) = &self.tracer {
+                t.borrow_mut()
+                    .emit(now, EventKind::CycleQuotaExpiry { tid });
+            }
             return SwitchDecision::Switch;
         }
         SwitchDecision::Continue

@@ -2,8 +2,14 @@
 //! under any policy, following the paper's methodology (warm up, reset
 //! statistics, measure).
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use soe_model::FairnessLevel;
-use soe_sim::{Machine, MachineConfig, NeverSwitch, SimError, SwitchPolicy, TraceSource};
+use soe_sim::obs::{SharedTracer, Trace, TraceConfig, Tracer};
+use soe_sim::{
+    Machine, MachineConfig, MachineStats, NeverSwitch, SimError, SwitchPolicy, TraceSource,
+};
 use soe_workloads::Pair;
 
 use crate::metrics::{PairRun, SingleRun, ThreadOutcome};
@@ -32,6 +38,11 @@ pub struct RunConfig {
     /// stall (300-cycle memory plus TLB walks, bus queueing and switch
     /// drain); `None` disables the check.
     pub stall_window: Option<u64>,
+    /// Cycle-level event tracing knobs. `None` disables tracing (the
+    /// default, and the only setting the plain runners consult); the
+    /// traced entry points ([`try_run_pair_traced`]) use `Some` values
+    /// or fall back to [`TraceConfig::default`].
+    pub trace: Option<TraceConfig>,
 }
 
 impl RunConfig {
@@ -44,6 +55,7 @@ impl RunConfig {
             measure_cycles: 8_000_000,
             fairness: FairnessConfig::paper(FairnessLevel::NONE),
             stall_window: Some(1_000_000),
+            trace: None,
         }
     }
 
@@ -65,6 +77,7 @@ impl RunConfig {
                 record_history: true,
             },
             stall_window: Some(200_000),
+            trace: None,
         }
     }
 
@@ -180,7 +193,27 @@ pub fn try_run_pair_with_policy(
     m.try_run_cycles(cfg.measure_cycles, cfg.stall_window)?;
     let cycles = m.now() - start;
     let stats = m.stats().clone();
+    Ok(assemble_pair_run(
+        pair.label(),
+        policy_name,
+        target,
+        cycles,
+        &stats,
+        singles,
+    ))
+}
 
+/// Builds the finalized [`PairRun`] from measured statistics — shared by
+/// every pair-style runner so traced and untraced runs report metrics
+/// through one code path.
+fn assemble_pair_run(
+    label: String,
+    policy: String,
+    target: Option<FairnessLevel>,
+    cycles: u64,
+    stats: &MachineStats,
+    singles: &[SingleRun],
+) -> PairRun {
     let threads: Vec<ThreadOutcome> = singles
         .iter()
         .enumerate()
@@ -197,8 +230,8 @@ pub fn try_run_pair_with_policy(
         })
         .collect();
     let mut run = PairRun {
-        label: pair.label(),
-        policy: policy_name,
+        label,
+        policy,
         target,
         cycles,
         threads,
@@ -214,7 +247,80 @@ pub fn try_run_pair_with_policy(
         avg_switch_latency: stats.avg_switch_latency(),
     };
     run.finalize();
-    Ok(run)
+    run
+}
+
+/// A pair run together with the cycle-level event trace of its
+/// measurement window.
+#[derive(Debug, Clone)]
+pub struct TracedPairRun {
+    /// The run's aggregate metrics, identical in form to an untraced run.
+    pub run: PairRun,
+    /// The recorded event stream (warm-up discarded; fills initiated in
+    /// the window may complete — and are stamped — past its end).
+    pub trace: Trace,
+}
+
+/// Runs `pair` under the fairness mechanism at target `f` with
+/// cycle-level event tracing enabled: the machine, the memory hierarchy
+/// and the policy share one bounded recorder ([`Tracer`]), which is
+/// restarted after warm-up so the trace covers exactly the measurement
+/// window. Uses `cfg.trace` knobs, or [`TraceConfig::default`] when
+/// `None`.
+///
+/// Tracing reads simulation state but never writes it, so the returned
+/// [`PairRun`] is identical to what [`try_run_pair`] reports for the
+/// same inputs.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] before the machine is built;
+/// [`SimError::Stalled`] / [`SimError::Wedged`] from the run itself.
+///
+/// # Panics
+///
+/// Panics if `singles` does not contain one entry per thread in pair
+/// order — a caller bug, not a run failure.
+pub fn try_run_pair_traced(
+    pair: &Pair,
+    f: FairnessLevel,
+    singles: &[SingleRun],
+    cfg: &RunConfig,
+) -> Result<TracedPairRun, SimError> {
+    assert_eq!(singles.len(), 2, "one single-thread reference per thread");
+    let fairness = cfg.with_target(f);
+    fairness
+        .check(2)
+        .map_err(|e| SimError::InvalidConfig(e.0))?;
+    cfg.machine
+        .check()
+        .map_err(|e| SimError::InvalidConfig(e.0))?;
+    let tcfg = cfg.trace.unwrap_or_default();
+    tcfg.check().map_err(|e| SimError::InvalidConfig(e.0))?;
+    let tracer: SharedTracer = Rc::new(RefCell::new(Tracer::new(tcfg)));
+    let policy = FairnessPolicy::new(2, fairness).with_tracer(Rc::clone(&tracer));
+    let policy_name = policy.name().to_string();
+    let mut m = Machine::new(cfg.machine, pair.boxed_traces(), Box::new(policy));
+    m.attach_tracer(Rc::clone(&tracer));
+    m.try_run_cycles(cfg.warmup_cycles, cfg.stall_window)?;
+    m.reset_stats();
+    if let Some(p) = m
+        .policy_mut()
+        .as_any_mut()
+        .and_then(|a| a.downcast_mut::<FairnessPolicy>())
+    {
+        p.clear_records();
+    }
+    tracer.borrow_mut().restart(m.now());
+    let start = m.now();
+    m.try_run_cycles(cfg.measure_cycles, cfg.stall_window)?;
+    let cycles = m.now() - start;
+    let stats = m.stats().clone();
+    let trace = tracer.borrow_mut().take();
+    Ok(TracedPairRun {
+        run: assemble_pair_run(pair.label(), policy_name, Some(f), cycles, &stats, singles),
+        trace,
+    })
 }
 
 /// Runs `pair` under the paper's fairness mechanism at target `f`
@@ -292,40 +398,14 @@ pub fn run_multi(
     m.run_cycles(cfg.measure_cycles);
     let cycles = m.now() - start;
     let stats = m.stats().clone();
-    let threads: Vec<ThreadOutcome> = singles
-        .iter()
-        .enumerate()
-        .map(|(i, s)| {
-            let retired = stats.threads.get(i).map_or(0, |t| t.retired);
-            let ipc_soe = retired as f64 / cycles as f64;
-            ThreadOutcome {
-                name: s.name.clone(),
-                retired,
-                ipc_soe,
-                ipc_st: s.ipc_st,
-                speedup: ipc_soe / s.ipc_st,
-            }
-        })
-        .collect();
-    let mut run = PairRun {
-        label: names.join(":"),
-        policy: policy_name,
-        target: Some(f),
+    assemble_pair_run(
+        names.join(":"),
+        policy_name,
+        Some(f),
         cycles,
-        threads,
-        throughput: 0.0,
-        fairness: 0.0,
-        weighted_speedup: 0.0,
-        harmonic_fairness: 0.0,
-        soe_speedup: 0.0,
-        total_switches: stats.total_switches,
-        event_switches: stats.threads.iter().map(|t| t.event_switches).sum(),
-        forced_switches: stats.threads.iter().map(|t| t.forced_switches).sum(),
-        forced_per_kcycle: 0.0,
-        avg_switch_latency: stats.avg_switch_latency(),
-    };
-    run.finalize();
-    run
+        &stats,
+        singles,
+    )
 }
 
 /// Measures the two single-thread references of a pair.

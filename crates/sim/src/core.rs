@@ -15,6 +15,7 @@ use crate::config::PredictorKind;
 use crate::error::SimError;
 use crate::frontend::{Bimodal, Btb, DirectionPredictor, FetchUnit, Gshare, Tournament};
 use crate::mem::Hierarchy;
+use crate::obs::{EventKind, SharedTracer};
 use crate::stats::MachineStats;
 use crate::switch::{SwitchDecision, SwitchPolicy, SwitchReason};
 use crate::trace::TraceSource;
@@ -73,6 +74,10 @@ pub struct Machine {
     store_queue: std::collections::VecDeque<crate::types::Addr>,
     /// Next cycle the store buffer may commit an entry.
     store_drain_at: Cycle,
+    /// Optional cycle-level event recorder (see [`crate::obs`]). `None`
+    /// — the default — costs one branch per tick and nothing else;
+    /// tracing never influences simulation state.
+    tracer: Option<SharedTracer>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -125,10 +130,20 @@ impl Machine {
             stall_reported: None,
             store_queue: std::collections::VecDeque::new(),
             store_drain_at: 0,
+            tracer: None,
             cfg,
             traces,
             policy,
         }
+    }
+
+    /// Attaches a cycle-level event recorder. The machine emits
+    /// switch-out/in and retire-rate events, and the memory hierarchy
+    /// (handed a clone of the same buffer) emits L2 miss/fill events;
+    /// policies emitting mechanism events should share this tracer too.
+    pub fn attach_tracer(&mut self, tracer: SharedTracer) {
+        self.hier.attach_tracer(SharedTracer::clone(&tracer));
+        self.tracer = Some(tracer);
     }
 
     /// Current simulated cycle.
@@ -491,6 +506,10 @@ impl Machine {
             SwitchReason::Hint => self.thread_stats_mut(cur).hint_switches += 1,
         }
         self.stats.total_switches += 1;
+        if let Some(t) = &self.tracer {
+            t.borrow_mut()
+                .emit(now, EventKind::SwitchOut { tid: cur, reason });
+        }
         self.policy.on_switch_out(cur, now, reason);
         // Drain: squash everything un-retired; in-flight cache fills keep
         // going (MSHR timing lives in the hierarchy).
@@ -512,6 +531,9 @@ impl Machine {
         self.fetch.restart(pos, now);
         self.run_started = None;
         self.stall_reported = None;
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().emit(now, EventKind::SwitchIn { tid: next });
+        }
         self.policy.on_switch_in(next, now);
     }
 
@@ -523,6 +545,15 @@ impl Machine {
     /// activity occurred (used by the quiescent fast-forward).
     pub fn tick(&mut self) -> bool {
         let now = self.now;
+        if let Some(t) = &self.tracer {
+            // Watermark advance + retire-rate samples. Runs before any
+            // stage so a sample boundary at `now` is stamped with the
+            // count *before* this cycle's retirements — identically
+            // whether the boundary was reached tick-by-tick or jumped
+            // over by the quiescent fast-forward.
+            let retired: InstrIndex = self.positions.iter().sum();
+            t.borrow_mut().advance(now, retired);
+        }
         if let CoreState::Draining { until, next } = self.state {
             if now >= until {
                 self.complete_switch_in(next, now);

@@ -50,6 +50,7 @@ mod core;
 mod error;
 pub mod frontend;
 pub mod mem;
+pub mod obs;
 mod stats;
 mod switch;
 mod trace;
@@ -62,6 +63,7 @@ pub use config::{
     SoeConfig, TlbConfig,
 };
 pub use error::SimError;
+pub use obs::{EventKind, SharedTracer, Trace, TraceConfig, TraceEvent, Tracer};
 pub use stats::{MachineStats, ThreadStats};
 pub use switch::{NeverSwitch, SwitchDecision, SwitchOnEvent, SwitchPolicy, SwitchReason};
 pub use trace::{AluTrace, PatternTrace, TraceSource};

@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::MachineConfig;
 use crate::mem::{Bus, Cache, MshrFile, Tlb};
+use crate::obs::{EventKind, SharedTracer};
 use crate::types::{Addr, Cycle};
 
 /// Timing outcome of one memory access.
@@ -74,6 +75,9 @@ pub struct Hierarchy {
     // this set is only probed point-wise today.
     prefetched: std::collections::BTreeSet<Addr>,
     stats: HierarchyStats,
+    /// Optional event recorder; every initiated demand L2 miss emits a
+    /// miss event plus a fill event scheduled at its completion cycle.
+    tracer: Option<SharedTracer>,
 }
 
 /// Base physical address of the simulated page tables; placed far above
@@ -97,7 +101,14 @@ impl Hierarchy {
             prefetch_degree: cfg.l2_prefetch_degree,
             prefetched: std::collections::BTreeSet::new(),
             stats: HierarchyStats::default(),
+            tracer: None,
         }
+    }
+
+    /// Attaches a cycle-level event recorder (normally a clone of the
+    /// machine's, via [`crate::Machine::attach_tracer`]).
+    pub fn attach_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Issues next-line prefetches behind a demand miss to `line`.
@@ -161,6 +172,13 @@ impl Hierarchy {
         if self.prefetch_degree > 0 {
             // Prefetches ride the bus right behind the demand transfer.
             self.prefetch_after(bus_start + 1, line);
+        }
+        if let Some(t) = &self.tracer {
+            // The fill is emitted now but stamped at its completion
+            // cycle; the tracer re-orders it into its place.
+            let mut tr = t.borrow_mut();
+            tr.emit(ready, EventKind::L2Miss { line });
+            tr.emit(done, EventKind::L2Fill { line });
         }
         (done, true, true)
     }

@@ -215,4 +215,53 @@ mod tests {
     fn zero_bins_panics() {
         Histogram::linear(0.0, 1.0, 0);
     }
+
+    #[test]
+    fn linear_edges_are_assigned_half_open() {
+        let mut h = Histogram::linear(0.0, 1.0, 4);
+        h.record(0.0); // lower edge -> first bin
+        h.record(0.25); // internal edge -> bin starting at the edge
+        h.record(0.5); // internal edge
+        h.record(1.0); // upper edge -> last bin (closed on the right)
+        let bins = h.bins();
+        assert_eq!(bins[0].count, 1);
+        assert_eq!(bins[1].count, 1);
+        assert_eq!(bins[2].count, 1);
+        assert_eq!(bins[3].count, 1);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn log_edges_are_assigned_half_open() {
+        let mut h = Histogram::log10(0.01, 100.0, 4);
+        h.record(0.01); // lower edge -> first decade
+        h.record(1.0); // internal decade edge -> bin starting at 1
+        h.record(100.0); // upper edge -> last decade
+        let bins = h.bins();
+        assert_eq!(bins[0].count, 1);
+        assert_eq!(bins[2].count, 1);
+        assert_eq!(bins[3].count, 1);
+        // Non-positive values cannot be log-binned: they are underflow.
+        h.record(0.0);
+        h.record(-5.0);
+        assert_eq!(h.underflow(), 2);
+    }
+
+    #[test]
+    fn bin_edges_tile_the_range_exactly() {
+        let h = Histogram::linear(-2.0, 2.0, 8);
+        let bins = h.bins();
+        assert_eq!(bins[0].lo, -2.0);
+        assert_eq!(bins[7].hi, 2.0);
+        for w in bins.windows(2) {
+            assert_eq!(w[0].hi, w[1].lo, "adjacent bins share an edge");
+        }
+    }
+
+    #[test]
+    fn fraction_below_is_zero_on_empty() {
+        let h = Histogram::linear(0.0, 1.0, 4);
+        assert_eq!(h.fraction_below(0.5), 0.0);
+    }
 }

@@ -7,6 +7,7 @@
 //! * [`Summary`] / [`OnlineStats`] — aggregate statistics (mean, standard
 //!   deviation, geometric and harmonic means) over experiment runs,
 //! * [`TimeSeries`] — sampled traces used for the Figure 5 style plots,
+//!   with CSV interchange via [`series_to_csv`] / [`series_from_csv`],
 //! * [`Histogram`] — linear- and log-binned distributions (e.g. achieved
 //!   fairness across runs),
 //! * [`Table`] — markdown table rendering for the per-table binaries,
@@ -28,6 +29,7 @@
 
 pub mod chart;
 mod corr;
+mod csv;
 mod histogram;
 mod online;
 mod summary;
@@ -36,6 +38,7 @@ mod table;
 mod timeseries;
 
 pub use corr::{linear_fit, pearson};
+pub use csv::{series_from_csv, series_to_csv};
 pub use histogram::{Histogram, HistogramBin};
 pub use online::OnlineStats;
 pub use summary::Summary;

@@ -163,6 +163,41 @@ mod tests {
     }
 
     #[test]
+    fn empty_series_aggregates_are_defined() {
+        let ts = TimeSeries::new("empty");
+        assert!(ts.is_empty());
+        assert_eq!(ts.len(), 0);
+        assert_eq!(ts.mean_y(), 0.0);
+        assert_eq!(ts.min_y(), None);
+        assert_eq!(ts.max_y(), None);
+        assert_eq!(ts.last(), None);
+        assert_eq!(ts.iter().count(), 0);
+        assert_eq!(ts.thinned(3), ts);
+    }
+
+    #[test]
+    fn single_point_series_aggregates() {
+        let mut ts = TimeSeries::new("one");
+        ts.push(7.0, 3.5);
+        assert!(!ts.is_empty());
+        assert_eq!(ts.mean_y(), 3.5);
+        assert_eq!(ts.min_y(), Some(3.5));
+        assert_eq!(ts.max_y(), Some(3.5));
+        assert_eq!(ts.last(), Some(Point { x: 7.0, y: 3.5 }));
+        assert_eq!(ts.thinned(1), ts);
+    }
+
+    #[test]
+    fn equal_x_samples_are_allowed() {
+        // Non-decreasing, not strictly increasing: two events can share a
+        // cycle (e.g. a grant and an estimator update in the same tick).
+        let mut ts = TimeSeries::new("s");
+        ts.push(5.0, 1.0);
+        ts.push(5.0, 2.0);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
     fn thinning_short_series_is_identity() {
         let mut ts = TimeSeries::new("s");
         ts.push(0.0, 1.0);

@@ -1,0 +1,55 @@
+//! Golden digests of the observability capture: the exact bytes of the
+//! `--trace` / `--metrics` artifacts for the quick sizing, pinned. Any
+//! intentional change to the simulator, the instrumentation or the wire
+//! formats must update these values consciously — they exist to catch
+//! *unintentional* drift in either the event stream or its
+//! serialization.
+//!
+//! To refresh after a deliberate change, run
+//! `GOLDEN_PRINT=1 cargo test -p soe-repro --test trace_golden -- --nocapture`
+//! and paste the printed values.
+
+use soe_bench::{observe_pair, Sizing};
+
+/// FNV-1a 64 over the artifact bytes: stable, dependency-free, and
+/// sensitive to any byte change anywhere in the stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn quick_capture_artifacts_match_golden_digests() {
+    let obs = observe_pair(Sizing::Quick).expect("capture succeeds");
+    let got = (
+        obs.summary.events,
+        obs.summary.dropped,
+        fnv1a(obs.jsonl.as_bytes()),
+        fnv1a(obs.chrome.as_bytes()),
+        fnv1a(obs.series_csv.as_bytes()),
+        fnv1a(obs.metrics_csv.as_bytes()),
+    );
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!(
+            "events: {}\ndropped: {}\njsonl: {:#018x}\nchrome: {:#018x}\nseries: {:#018x}\nmetrics: {:#018x}",
+            got.0, got.1, got.2, got.3, got.4, got.5
+        );
+        return;
+    }
+    assert_eq!(got.0, GOLDEN_EVENTS, "event count drifted");
+    assert_eq!(got.1, 0, "the quick capture must not drop events");
+    assert_eq!(got.2, GOLDEN_JSONL, "JSONL stream drifted");
+    assert_eq!(got.3, GOLDEN_CHROME, "Chrome trace drifted");
+    assert_eq!(got.4, GOLDEN_SERIES, "series CSV drifted");
+    assert_eq!(got.5, GOLDEN_METRICS, "metrics CSV drifted");
+}
+
+const GOLDEN_EVENTS: u64 = 9554;
+const GOLDEN_JSONL: u64 = 0xb60c_f971_0fab_a744;
+const GOLDEN_CHROME: u64 = 0x4f3a_2f38_9655_3c54;
+const GOLDEN_SERIES: u64 = 0xc095_3a82_9f77_3eb3;
+const GOLDEN_METRICS: u64 = 0x01aa_6815_555d_9782;
