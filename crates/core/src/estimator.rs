@@ -145,6 +145,14 @@ impl Estimator {
         now >= self.last_recalc + self.delta
     }
 
+    /// The first cycle at which [`Estimator::due`] becomes true — the
+    /// end of the current Δ window. Policies report this as a scheduled
+    /// decision point so quiescent fast-forward never jumps over a
+    /// recalculation.
+    pub fn next_due(&self) -> Cycle {
+        self.last_recalc + self.delta
+    }
+
     /// Performs the Δ recalculation: differentiates `samples` against the
     /// previous reading, refreshes estimates and returns the Eq 9 quotas
     /// for target `f`.

@@ -354,6 +354,18 @@ impl SwitchPolicy for FairnessPolicy {
         SwitchDecision::Continue
     }
 
+    fn next_decision_at(&self, _tid: ThreadId, _now: Cycle) -> Option<Cycle> {
+        // `each_cycle` acts at exactly two scheduled points: the end of
+        // the current Δ window (recalculation, any F) and the cycle
+        // quota expiring (enforced F only).
+        let due = self.estimator.next_due();
+        if self.cfg.target.is_enforced() {
+            Some(due.min(self.switch_in_at + self.cfg.max_cycles_quota))
+        } else {
+            Some(due)
+        }
+    }
+
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
@@ -404,6 +416,10 @@ impl SwitchPolicy for TimeSlicePolicy {
         } else {
             SwitchDecision::Continue
         }
+    }
+
+    fn next_decision_at(&self, _tid: ThreadId, _now: Cycle) -> Option<Cycle> {
+        Some(self.switch_in_at + self.quota_cycles)
     }
 }
 

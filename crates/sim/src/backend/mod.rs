@@ -4,4 +4,4 @@ mod exec;
 mod rob;
 
 pub use exec::FuPool;
-pub use rob::{EntryState, Rob, RobEntry};
+pub use rob::{Blocker, EntryState, Rob, RobEntry};

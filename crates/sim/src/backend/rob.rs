@@ -1,7 +1,33 @@
 //! The re-order buffer: in-order allocation and retirement around an
 //! out-of-order execution window.
+//!
+//! Besides the entries themselves the buffer maintains several pieces
+//! of derived state incrementally, so the per-cycle pipeline stages
+//! never need an O(ROB) scan:
+//!
+//! * a completion calendar (`completions`) mapping each pending
+//!   completion cycle to the entries finishing then, which makes
+//!   "what completes now?" ([`Rob::complete_until`]) and "when does the
+//!   next thing complete?" ([`Rob::earliest_completion`]) cheap — the
+//!   latter is what the machine's quiescent fast-forward polls every
+//!   stalled cycle;
+//! * occupancy counters (waiting / loads / stores) for rename-stage
+//!   resource checks ([`Rob::occupancy`]);
+//! * an issue-candidate tracker — a retry queue plus a retry calendar
+//!   keyed by each blocked entry's proven earliest-readiness cycle
+//!   ([`RobEntry::not_before`], recorded via [`Rob::defer_issue`]) — so
+//!   the issue scan ([`Rob::collect_issue_candidates`]) examines only
+//!   entries that could actually issue this cycle, instead of
+//!   re-checking every waiting entry every cycle;
+//! * the stream positions of in-flight stores, so memory
+//!   disambiguation ([`Rob::older_store_to`]) scans the store buffer,
+//!   not the whole window;
+//! * all state transitions funnel through [`Rob::push`],
+//!   [`Rob::set_executing`], [`Rob::complete_until`], [`Rob::pop_head`]
+//!   and [`Rob::squash`] so the derived state cannot drift from the
+//!   entries. Entry state is therefore read-only from the outside.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::types::{Cycle, InstrIndex};
 use crate::uop::{Uop, UopKind};
@@ -33,6 +59,19 @@ pub struct RobEntry {
     pub mem_pending: bool,
     /// Whether the branch was mispredicted at fetch.
     pub mispredicted: bool,
+    /// Issue-readiness memo: a proven lower bound on the cycle at which
+    /// this entry could next pass the issue-readiness checks (operand
+    /// availability, memory disambiguation). The issue stage skips the
+    /// entry with a single comparison before then. `0` means "no bound
+    /// recorded"; [`Cycle::MAX`] means "parked on a producer". Maintained
+    /// via [`Rob::defer_issue`] and [`Rob::park_on_producer`].
+    pub not_before: Cycle,
+    /// Head of the intrusive list of entries parked on this one (their
+    /// first blocking producer): they re-enter the issue scan when this
+    /// entry issues and its completion cycle becomes known.
+    waiters_head: Option<InstrIndex>,
+    /// Link in the waiter list this entry is parked in, if any.
+    next_waiter: Option<InstrIndex>,
 }
 
 /// The re-order buffer. Entries are stored contiguously by stream
@@ -49,12 +88,52 @@ pub struct RobEntry {
 /// assert_eq!(rob.len(), 1);
 /// assert!(rob.producer_done(1, 2)); // producers before the window count as done
 /// assert!(!rob.producer_done(1, 1)); // entry 0 not finished yet
+/// rob.set_executing(0, 5, false);
+/// assert_eq!(rob.earliest_completion(), Some(5));
 /// ```
 #[derive(Debug)]
 pub struct Rob {
     head_index: InstrIndex,
     entries: VecDeque<RobEntry>,
     capacity: usize,
+    /// Completion calendar: pending completion cycle → stream positions
+    /// of the `Executing` entries that finish then. Every `Executing`
+    /// entry has exactly one slot here, keyed by its completion cycle.
+    completions: BTreeMap<Cycle, Vec<InstrIndex>>,
+    /// Drained calendar buckets kept for reuse, so steady-state
+    /// execution does not allocate per completion cycle.
+    free_buckets: Vec<Vec<InstrIndex>>,
+    /// Number of entries in `EntryState::Waiting`.
+    waiting: usize,
+    /// Number of in-flight loads (any state).
+    loads: usize,
+    /// Number of in-flight stores (any state).
+    stores: usize,
+    /// Stream positions to examine at the next issue scan — an
+    /// unordered superset of the issuable `Waiting` entries, pruned and
+    /// sorted by [`Rob::collect_issue_candidates`].
+    retry_q: Vec<InstrIndex>,
+    /// Retry calendar: proven earliest-readiness cycle → blocked
+    /// `Waiting` entries whose bound expires then (the calendar twin of
+    /// `completions`). Buckets drain back into `retry_q` on expiry.
+    deferred: BTreeMap<Cycle, Vec<InstrIndex>>,
+    /// Stream positions of in-flight stores, oldest first.
+    store_indices: VecDeque<InstrIndex>,
+    /// Reusable buffer for draining waiter chains into the calendar.
+    wake_scratch: Vec<InstrIndex>,
+}
+
+/// Why a `Waiting` entry cannot issue yet, as determined by
+/// [`Rob::producer_blocker`]: either a proven earliest-readiness cycle
+/// (park in the retry calendar via [`Rob::defer_issue`]) or a
+/// still-waiting producer whose completion cycle is unknown (park on
+/// the producer via [`Rob::park_on_producer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Blocker {
+    /// The entry cannot pass the issue checks before this cycle.
+    At(Cycle),
+    /// The entry waits on this still-unissued producer.
+    On(InstrIndex),
 }
 
 impl Rob {
@@ -69,6 +148,15 @@ impl Rob {
             head_index: 0,
             entries: VecDeque::with_capacity(capacity),
             capacity,
+            completions: BTreeMap::new(),
+            free_buckets: Vec::new(),
+            waiting: 0,
+            loads: 0,
+            stores: 0,
+            retry_q: Vec::with_capacity(capacity),
+            deferred: BTreeMap::new(),
+            store_indices: VecDeque::new(),
+            wake_scratch: Vec::new(),
         }
     }
 
@@ -93,7 +181,7 @@ impl Rob {
         self.head_index
     }
 
-    /// Allocates an entry at the tail.
+    /// Allocates an entry at the tail (in `Waiting` state).
     ///
     /// # Panics
     ///
@@ -106,12 +194,25 @@ impl Rob {
             self.head_index + self.entries.len() as u64,
             "ROB allocation must be sequential"
         );
+        match uop.kind {
+            UopKind::Load => self.loads += 1,
+            UopKind::Store => {
+                self.stores += 1;
+                self.store_indices.push_back(index);
+            }
+            _ => {}
+        }
+        self.waiting += 1;
+        self.retry_q.push(index);
         self.entries.push_back(RobEntry {
             index,
             uop,
             state: EntryState::Waiting,
             mem_pending: false,
             mispredicted,
+            not_before: 0,
+            waiters_head: None,
+            next_waiter: None,
         });
     }
 
@@ -131,6 +232,19 @@ impl Rob {
     pub fn pop_head(&mut self) -> Option<RobEntry> {
         let e = self.entries.pop_front()?;
         assert_eq!(e.state, EntryState::Done, "retiring incomplete entry");
+        match e.uop.kind {
+            UopKind::Load => self.loads -= 1,
+            UopKind::Store => {
+                self.stores -= 1;
+                // Stores retire in order, so the oldest tracked store is
+                // this one; the guard keeps a hypothetical drift
+                // panic-free.
+                if self.store_indices.front() == Some(&e.index) {
+                    self.store_indices.pop_front();
+                }
+            }
+            _ => {}
+        }
         self.head_index += 1;
         Some(e)
     }
@@ -141,10 +255,188 @@ impl Rob {
         self.entries.get(off as usize)
     }
 
-    /// Mutable access by stream position.
-    pub fn get_mut(&mut self, index: InstrIndex) -> Option<&mut RobEntry> {
-        let off = index.checked_sub(self.head_index)?;
-        self.entries.get_mut(off as usize)
+    /// Issues entry `index`: `Waiting` → `Executing(done)`, registering
+    /// it in the completion calendar. Returns whether the transition
+    /// happened (`false` if the entry vanished — a squash raced the
+    /// caller's snapshot — or was not `Waiting`).
+    pub fn set_executing(&mut self, index: InstrIndex, done: Cycle, mem_pending: bool) -> bool {
+        let Some(off) = index.checked_sub(self.head_index) else {
+            return false;
+        };
+        let Some(e) = self.entries.get_mut(off as usize) else {
+            return false;
+        };
+        if e.state != EntryState::Waiting {
+            debug_assert!(false, "issuing entry {index} twice");
+            return false;
+        }
+        e.state = EntryState::Executing(done);
+        e.mem_pending = mem_pending;
+        let waiters = e.waiters_head.take();
+        self.waiting -= 1;
+        let free = &mut self.free_buckets;
+        self.completions
+            .entry(done)
+            .or_insert_with(|| free.pop().unwrap_or_default())
+            .push(index);
+        // The issue's completion cycle is now known: everything parked
+        // on this entry moves to the retry calendar at that cycle (its
+        // result cannot be available sooner).
+        if waiters.is_some() {
+            self.wake_waiters(waiters, done);
+        }
+        true
+    }
+
+    /// Moves an intrusive waiter chain into the retry-calendar bucket
+    /// for cycle `at`.
+    fn wake_waiters(&mut self, mut next: Option<InstrIndex>, at: Cycle) {
+        let mut woken = std::mem::take(&mut self.wake_scratch);
+        while let Some(c) = next {
+            next = None;
+            if let Some(off) = c.checked_sub(self.head_index) {
+                if let Some(e) = self.entries.get_mut(off as usize) {
+                    next = e.next_waiter.take();
+                    e.not_before = at;
+                    woken.push(c);
+                }
+            }
+        }
+        let free = &mut self.free_buckets;
+        self.deferred
+            .entry(at)
+            .or_insert_with(|| free.pop().unwrap_or_default())
+            .append(&mut woken);
+        self.wake_scratch = woken;
+    }
+
+    /// The earliest pending completion cycle, if anything is executing —
+    /// O(log buckets), no entry scan. This is the value the old
+    /// full-ROB `next_event` scan computed; a debug assertion in
+    /// [`Rob::complete_until`] cross-checks the two.
+    pub fn earliest_completion(&self) -> Option<Cycle> {
+        self.completions.keys().next().copied()
+    }
+
+    /// Marks every entry whose completion cycle is `<= now` as `Done`
+    /// (clearing its miss flag), appending the stream positions of the
+    /// mispredicted ones to `resolved` in ascending (program) order —
+    /// the order the old oldest-first writeback scan produced. Returns
+    /// whether anything completed.
+    pub fn complete_until(&mut self, now: Cycle, resolved: &mut Vec<InstrIndex>) -> bool {
+        #[cfg(debug_assertions)]
+        self.assert_tracker_matches_scan();
+        let mut progress = false;
+        while let Some((&done, _)) = self.completions.first_key_value() {
+            if done > now {
+                break;
+            }
+            let Some((_, mut bucket)) = self.completions.pop_first() else {
+                break;
+            };
+            for index in bucket.drain(..) {
+                // Calendar entries are removed on squash, so the entry
+                // is always present; the guards keep this panic-free.
+                let Some(off) = index.checked_sub(self.head_index) else {
+                    continue;
+                };
+                let Some(e) = self.entries.get_mut(off as usize) else {
+                    continue;
+                };
+                e.state = EntryState::Done;
+                e.mem_pending = false;
+                progress = true;
+                if e.mispredicted {
+                    resolved.push(index);
+                }
+            }
+            self.free_buckets.push(bucket);
+        }
+        if resolved.len() > 1 {
+            resolved.sort_unstable();
+        }
+        progress
+    }
+
+    /// Debug-build invariant: the incrementally maintained calendar and
+    /// counters agree with a fresh scan of the entries (i.e. the old
+    /// O(ROB) `next_event` and `occupancy` would return the same
+    /// answers).
+    #[cfg(debug_assertions)]
+    fn assert_tracker_matches_scan(&self) {
+        let scanned_earliest = self
+            .entries
+            .iter()
+            .filter_map(|e| match e.state {
+                EntryState::Executing(done) => Some(done),
+                _ => None,
+            })
+            .min();
+        debug_assert_eq!(
+            self.earliest_completion(),
+            scanned_earliest,
+            "completion calendar drifted from entry states"
+        );
+        let waiting = self
+            .entries
+            .iter()
+            .filter(|e| e.state == EntryState::Waiting)
+            .count();
+        let loads = self
+            .entries
+            .iter()
+            .filter(|e| e.uop.kind == UopKind::Load)
+            .count();
+        let stores = self
+            .entries
+            .iter()
+            .filter(|e| e.uop.kind == UopKind::Store)
+            .count();
+        debug_assert_eq!(
+            (self.waiting, self.loads, self.stores),
+            (waiting, loads, stores),
+            "occupancy counters drifted from entry states"
+        );
+        // Every `Waiting` entry must be reachable by a future issue scan
+        // — in the retry queue, parked in a retry-calendar bucket, or
+        // parked on a producer's waiter list — and the store index must
+        // match the in-flight stores exactly.
+        let mut tracked: std::collections::BTreeSet<InstrIndex> = self
+            .retry_q
+            .iter()
+            .copied()
+            .chain(self.deferred.values().flatten().copied())
+            .collect();
+        for e in &self.entries {
+            let mut w = e.waiters_head;
+            while let Some(c) = w {
+                tracked.insert(c);
+                w = c
+                    .checked_sub(self.head_index)
+                    .and_then(|off| self.entries.get(off as usize))
+                    .and_then(|e| e.next_waiter);
+            }
+        }
+        for e in &self.entries {
+            if e.state == EntryState::Waiting {
+                debug_assert!(
+                    tracked.contains(&e.index),
+                    "waiting entry {} untracked by the issue scan",
+                    e.index
+                );
+            }
+        }
+        let scanned_stores: Vec<InstrIndex> = self
+            .entries
+            .iter()
+            .filter(|e| e.uop.kind == UopKind::Store)
+            .map(|e| e.index)
+            .collect();
+        debug_assert_eq!(
+            self.store_indices.iter().copied().collect::<Vec<_>>(),
+            scanned_stores,
+            "store index drifted from entry states"
+        );
     }
 
     /// Whether the producer `dist` positions before `consumer` has its
@@ -169,13 +461,171 @@ impl Rob {
     }
 
     /// Finds the youngest store older than `load_index` with the same data
-    /// address, for store-to-load forwarding. Returns its state.
+    /// address, for store-to-load forwarding. Returns its state. Scans
+    /// the in-flight stores only, not the whole window.
     pub fn older_store_to(&self, load_index: InstrIndex, addr: u64) -> Option<&RobEntry> {
-        self.entries
+        self.store_indices
             .iter()
             .rev()
-            .filter(|e| e.index < load_index)
-            .find(|e| e.uop.kind == UopKind::Store && e.uop.mem_addr == Some(addr))
+            .copied()
+            .skip_while(|&i| i >= load_index)
+            .filter_map(|i| self.get(i))
+            .find(|e| e.uop.mem_addr == Some(addr))
+    }
+
+    /// Hands the issue scan its candidates for cycle `now`: the retry
+    /// queue (fresh dispatches and contention retries) merged with every
+    /// retry-calendar bucket whose readiness bound has expired, pruned
+    /// of entries that issued or retired, sorted oldest first — exactly
+    /// the `Waiting` entries a full scan could possibly issue at `now`.
+    /// The queue is drained; the caller returns unexamined or
+    /// contention-blocked candidates via
+    /// [`Rob::requeue_issue_candidate`] and blocked ones via
+    /// [`Rob::defer_issue`]. Cost is O(candidates), not O(waiting).
+    pub fn collect_issue_candidates(&mut self, now: Cycle, out: &mut Vec<InstrIndex>) {
+        out.clear();
+        while let Some((&at, _)) = self.deferred.first_key_value() {
+            if at > now {
+                break;
+            }
+            let Some((_, mut bucket)) = self.deferred.pop_first() else {
+                break;
+            };
+            self.retry_q.append(&mut bucket);
+            self.free_buckets.push(bucket);
+        }
+        let head = self.head_index;
+        let entries = &self.entries;
+        self.retry_q.retain(|&idx| {
+            idx.checked_sub(head)
+                .and_then(|off| entries.get(off as usize))
+                .is_some_and(|e| e.state == EntryState::Waiting)
+        });
+        self.retry_q.sort_unstable();
+        out.extend_from_slice(&self.retry_q);
+        self.retry_q.clear();
+    }
+
+    /// Returns an unissued candidate from
+    /// [`Rob::collect_issue_candidates`] to the next scan's examination
+    /// set (functional-unit contention or issue-width exhaustion: ready
+    /// state is unknown, retry next cycle).
+    pub fn requeue_issue_candidate(&mut self, index: InstrIndex) {
+        self.retry_q.push(index);
+    }
+
+    /// Debug-build invariant: every memo-deferred `Waiting` entry really
+    /// is unable to pass the issue-readiness checks at `now` — i.e. the
+    /// bounds recorded via [`Rob::defer_issue`] never hide an issuable
+    /// entry from the scan.
+    #[cfg(debug_assertions)]
+    pub fn assert_deferrals_valid(&self, now: Cycle) {
+        for e in self.entries.iter() {
+            if e.state != EntryState::Waiting || e.not_before <= now {
+                continue;
+            }
+            let ready = e
+                .uop
+                .src_dist
+                .iter()
+                .all(|d| self.producer_done(e.index, *d));
+            let forward_blocked = ready
+                && e.uop.kind == UopKind::Load
+                && e.uop.mem_addr.is_some_and(|a| {
+                    self.older_store_to(e.index, a)
+                        .is_some_and(|st| st.state != EntryState::Done)
+                });
+            debug_assert!(
+                !ready || forward_blocked,
+                "issue memo hides a ready entry {}",
+                e.index
+            );
+        }
+    }
+
+    /// Records that entry `index` cannot pass the issue-readiness checks
+    /// before cycle `at` — an exact bound the issue stage derives from
+    /// the states of the entry's blockers — and parks it in the retry
+    /// calendar until then, keeping it out of every scan in between.
+    pub fn defer_issue(&mut self, index: InstrIndex, at: Cycle) {
+        let Some(off) = index.checked_sub(self.head_index) else {
+            return;
+        };
+        let Some(e) = self.entries.get_mut(off as usize) else {
+            return;
+        };
+        e.not_before = at;
+        let free = &mut self.free_buckets;
+        self.deferred
+            .entry(at)
+            .or_insert_with(|| free.pop().unwrap_or_default())
+            .push(index);
+    }
+
+    /// Like [`Rob::producer_done`] but, when the producer `dist`
+    /// positions before `consumer` is not done, says what to wait for:
+    ///
+    /// * an `Executing` producer completes in the writeback of its
+    ///   scheduled cycle, never earlier — [`Blocker::At`] that cycle;
+    /// * a still-`Waiting` producer has no known completion cycle —
+    ///   [`Blocker::On`] the producer, woken when it issues.
+    ///
+    /// `None` means the producer's result is available now.
+    pub fn producer_blocker(&self, consumer: InstrIndex, dist: u32, now: Cycle) -> Option<Blocker> {
+        if dist == 0 {
+            return None;
+        }
+        let Some(p) = consumer.checked_sub(dist as u64) else {
+            return None; // before the start of the program
+        };
+        if p < self.head_index {
+            return None;
+        }
+        match self.get(p) {
+            Some(e) => match e.state {
+                EntryState::Done => None,
+                EntryState::Executing(done) => Some(Blocker::At(done)),
+                EntryState::Waiting => Some(Blocker::On(p)),
+            },
+            // Producer not yet renamed (unreachable for allocated
+            // consumers): it cannot complete within the next cycle.
+            None => Some(Blocker::At(now + 2)),
+        }
+    }
+
+    /// Parks `consumer` on the intrusive waiter list of the
+    /// still-`Waiting` entry `producer`: it leaves the issue scan until
+    /// the producer issues, at which point it moves to the retry
+    /// calendar at the producer's completion cycle ­— the earliest its
+    /// operand could possibly be available. Falls back to a plain
+    /// next-scan requeue if the producer is not a live waiting entry.
+    pub fn park_on_producer(&mut self, consumer: InstrIndex, producer: InstrIndex) {
+        let prev = match producer
+            .checked_sub(self.head_index)
+            .and_then(|off| self.entries.get(off as usize))
+        {
+            Some(p) if p.state == EntryState::Waiting => p.waiters_head,
+            _ => {
+                self.retry_q.push(consumer);
+                return;
+            }
+        };
+        let Some(c) = consumer
+            .checked_sub(self.head_index)
+            .and_then(|off| self.entries.get_mut(off as usize))
+        else {
+            return;
+        };
+        c.next_waiter = prev;
+        c.not_before = Cycle::MAX;
+        // The producer was just read as live; the re-lookup keeps the
+        // two mutable borrows disjoint.
+        if let Some(p) = producer
+            .checked_sub(self.head_index)
+            .and_then(|off| self.entries.get_mut(off as usize))
+        {
+            p.waiters_head = Some(consumer);
+        }
     }
 
     /// Iterates over in-flight entries oldest-first.
@@ -183,34 +633,35 @@ impl Rob {
         self.entries.iter()
     }
 
-    /// Mutable iteration oldest-first.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RobEntry> {
-        self.entries.iter_mut()
-    }
-
     /// Squashes every in-flight entry and repoints the window at
     /// `restart_index` (thread switch or full-pipeline flush).
     pub fn squash(&mut self, restart_index: InstrIndex) {
         self.entries.clear();
         self.head_index = restart_index;
+        while let Some((_, mut bucket)) = self.completions.pop_first() {
+            bucket.clear();
+            self.free_buckets.push(bucket);
+        }
+        self.waiting = 0;
+        self.loads = 0;
+        self.stores = 0;
+        self.retry_q.clear();
+        while let Some((_, mut bucket)) = self.deferred.pop_first() {
+            bucket.clear();
+            self.free_buckets.push(bucket);
+        }
+        self.store_indices.clear();
     }
 
-    /// Occupancy counts: (waiting-in-RS, loads, stores).
+    /// Number of entries waiting in the reservation station — O(1).
+    pub fn waiting_count(&self) -> usize {
+        self.waiting
+    }
+
+    /// Occupancy counts: (waiting-in-RS, loads, stores) — O(1), kept
+    /// incrementally at push/issue/retire/squash.
     pub fn occupancy(&self) -> (usize, usize, usize) {
-        let mut waiting = 0;
-        let mut loads = 0;
-        let mut stores = 0;
-        for e in &self.entries {
-            if e.state == EntryState::Waiting {
-                waiting += 1;
-            }
-            match e.uop.kind {
-                UopKind::Load => loads += 1,
-                UopKind::Store => stores += 1,
-                _ => {}
-            }
-        }
-        (waiting, loads, stores)
+        (self.waiting, self.loads, self.stores)
     }
 }
 
@@ -222,12 +673,20 @@ mod tests {
         Uop::new(UopKind::Alu, pc)
     }
 
+    /// Issue + complete in one step, for tests that only care about the
+    /// end state.
+    fn force_done(rob: &mut Rob, index: InstrIndex) {
+        assert!(rob.set_executing(index, 0, false));
+        let mut resolved = Vec::new();
+        rob.complete_until(Cycle::MAX, &mut resolved);
+    }
+
     #[test]
     fn sequential_allocation_and_retirement() {
         let mut rob = Rob::new(4);
         rob.push(0, alu(0), false);
         rob.push(1, alu(4), false);
-        rob.get_mut(0).unwrap().state = EntryState::Done;
+        force_done(&mut rob, 0);
         let e = rob.pop_head().expect("head exists");
         assert_eq!(e.index, 0);
         assert_eq!(rob.head_index(), 1);
@@ -255,7 +714,7 @@ mod tests {
         rob.push(0, alu(0), false);
         rob.push(1, alu(4), false);
         assert!(!rob.producer_done(1, 1));
-        rob.get_mut(0).unwrap().state = EntryState::Done;
+        force_done(&mut rob, 0);
         assert!(rob.producer_done(1, 1));
         assert!(rob.producer_done(1, 5), "pre-program producers are done");
         assert!(rob.producer_done(1, 0), "no dependence");
@@ -265,7 +724,7 @@ mod tests {
     fn retired_producers_count_as_done() {
         let mut rob = Rob::new(4);
         rob.push(0, alu(0), false);
-        rob.get_mut(0).unwrap().state = EntryState::Done;
+        force_done(&mut rob, 0);
         let _ = rob.pop_head();
         rob.push(1, alu(4), false);
         assert!(rob.producer_done(1, 1));
@@ -287,9 +746,12 @@ mod tests {
     fn squash_empties_and_repoints() {
         let mut rob = Rob::new(4);
         rob.push(0, alu(0), false);
+        rob.set_executing(0, 7, true);
         rob.squash(42);
         assert!(rob.is_empty());
         assert_eq!(rob.head_index(), 42);
+        assert_eq!(rob.earliest_completion(), None, "calendar cleared");
+        assert_eq!(rob.occupancy(), (0, 0, 0), "counters cleared");
         rob.push(42, alu(0), false);
         assert_eq!(rob.len(), 1);
     }
@@ -300,8 +762,56 @@ mod tests {
         rob.push(0, Uop::new(UopKind::Load, 0).with_mem(0x1), false);
         rob.push(1, Uop::new(UopKind::Store, 4).with_mem(0x2), false);
         rob.push(2, alu(8), false);
-        rob.get_mut(2).unwrap().state = EntryState::Done;
+        force_done(&mut rob, 2);
         let (waiting, loads, stores) = rob.occupancy();
         assert_eq!((waiting, loads, stores), (2, 1, 1));
+    }
+
+    #[test]
+    fn earliest_completion_tracks_calendar() {
+        let mut rob = Rob::new(8);
+        rob.push(0, alu(0), false);
+        rob.push(1, alu(4), false);
+        rob.push(2, alu(8), false);
+        assert_eq!(rob.earliest_completion(), None);
+        rob.set_executing(0, 30, false);
+        rob.set_executing(1, 10, false);
+        assert_eq!(rob.earliest_completion(), Some(10));
+        let mut resolved = Vec::new();
+        assert!(rob.complete_until(10, &mut resolved));
+        assert_eq!(rob.earliest_completion(), Some(30), "10-bucket drained");
+        assert!(!rob.complete_until(29, &mut resolved), "nothing due yet");
+        assert!(rob.complete_until(30, &mut resolved));
+        assert_eq!(rob.earliest_completion(), None);
+        assert_eq!(rob.waiting_count(), 1, "entry 2 never issued");
+    }
+
+    #[test]
+    fn complete_until_reports_mispredicts_in_program_order() {
+        let mut rob = Rob::new(8);
+        for i in 0..4 {
+            rob.push(i, alu(i * 4), true);
+        }
+        // Issue out of order into the same completion cycle.
+        rob.set_executing(3, 5, false);
+        rob.set_executing(1, 5, false);
+        rob.set_executing(2, 4, false);
+        let mut resolved = Vec::new();
+        assert!(rob.complete_until(5, &mut resolved));
+        assert_eq!(resolved, vec![1, 2, 3], "ascending stream positions");
+    }
+
+    #[test]
+    fn complete_until_clears_miss_flag() {
+        let mut rob = Rob::new(4);
+        rob.push(0, Uop::new(UopKind::Load, 0).with_mem(0x40), false);
+        rob.set_executing(0, 9, true);
+        assert!(rob.head().is_some_and(|e| e.mem_pending));
+        let mut resolved = Vec::new();
+        rob.complete_until(9, &mut resolved);
+        let head = rob.head().expect("entry still allocated");
+        assert_eq!(head.state, EntryState::Done);
+        assert!(!head.mem_pending);
+        assert!(resolved.is_empty(), "not mispredicted");
     }
 }

@@ -245,6 +245,16 @@ pub struct MachineConfig {
     /// Skip idle cycles when the whole machine is provably quiescent
     /// (pure simulation speedup; results are identical).
     pub fast_forward: bool,
+    /// Treat scheduled switch-policy decision points (Δ-window
+    /// recalculations, cycle-quota expiries) as machine events, so
+    /// fast-forward jumps stop at them and the decisions fire at the
+    /// exact cycle a tick-by-tick run would take them. Off by default:
+    /// jumps historically overshot scheduled decisions to the next
+    /// machine event, and the recorded experiment baselines pin that
+    /// behaviour. Flipping this changes enforced-fairness results and
+    /// requires regenerating goldens.
+    #[serde(default)]
+    pub exact_policy_events: bool,
 }
 
 impl Default for MachineConfig {
@@ -315,6 +325,7 @@ impl Default for MachineConfig {
                 switch_on_l1_miss: false,
             },
             fast_forward: true,
+            exact_policy_events: false,
         }
     }
 }
@@ -386,6 +397,7 @@ impl MachineConfig {
             self.soe.drain_latency,
             self.soe.switch_on_l1_miss,
             self.fast_forward,
+            self.exact_policy_events,
         );
         Ok(())
     }

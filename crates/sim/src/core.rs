@@ -9,7 +9,7 @@
 //! thread's architectural position and refills — caches, TLBs and
 //! predictor state are shared and survive switches.
 
-use crate::backend::{EntryState, FuPool, Rob};
+use crate::backend::{Blocker, EntryState, FuPool, Rob};
 use crate::config::MachineConfig;
 use crate::config::PredictorKind;
 use crate::error::SimError;
@@ -78,6 +78,22 @@ pub struct Machine {
     /// — the default — costs one branch per tick and nothing else;
     /// tracing never influences simulation state.
     tracer: Option<SharedTracer>,
+    /// Instructions retired across all threads — always equal to the sum
+    /// of `positions`, maintained at retirement so the tracer watermark
+    /// and the stall watchdog never re-sum per cycle.
+    total_retired: InstrIndex,
+    /// True when the last issue scan proved nothing can issue until an
+    /// entry completes or a new one is dispatched: no entry was ready,
+    /// none was turned away by a busy functional unit. Cleared by
+    /// writeback completions, rename dispatch, and switches; while set,
+    /// the issue stage is skipped entirely.
+    issue_quiet: bool,
+    /// Reused buffer for writeback's resolved-mispredict positions.
+    scratch_resolved: Vec<InstrIndex>,
+    /// Reused buffer for the issue stage's waiting-entry snapshot.
+    scratch_waiting: Vec<InstrIndex>,
+    /// Reused buffer for `run_until_retired`'s per-thread targets.
+    scratch_targets: Vec<InstrIndex>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -131,6 +147,11 @@ impl Machine {
             store_queue: std::collections::VecDeque::new(),
             store_drain_at: 0,
             tracer: None,
+            total_retired: 0,
+            issue_quiet: false,
+            scratch_resolved: Vec::new(),
+            scratch_waiting: Vec::new(),
+            scratch_targets: Vec::new(),
             cfg,
             traces,
             policy,
@@ -242,24 +263,24 @@ impl Machine {
     }
 
     /// Completion/writeback: mark finished executions `Done`, resolve
-    /// branches.
+    /// branches. The ROB's completion calendar makes the idle case — no
+    /// execution finishing this cycle, the common state inside a miss
+    /// shadow — a single comparison instead of a full scan.
     fn writeback(&mut self, now: Cycle) -> bool {
-        let mut progress = false;
-        let mut resolved: Vec<InstrIndex> = Vec::new();
-        for e in self.rob.iter_mut() {
-            if let EntryState::Executing(done) = e.state {
-                if done <= now {
-                    e.state = EntryState::Done;
-                    e.mem_pending = false;
-                    progress = true;
-                    if e.mispredicted {
-                        resolved.push(e.index);
-                    }
-                }
-            }
+        match self.rob.earliest_completion() {
+            Some(c) if c <= now => {}
+            _ => return false,
         }
-        for idx in resolved {
+        let mut resolved = std::mem::take(&mut self.scratch_resolved);
+        resolved.clear();
+        let progress = self.rob.complete_until(now, &mut resolved);
+        for idx in resolved.drain(..) {
             self.fetch.branch_executed(idx, now);
+        }
+        self.scratch_resolved = resolved;
+        if progress {
+            // Freshly completed producers can wake waiting consumers.
+            self.issue_quiet = false;
         }
         progress
     }
@@ -318,6 +339,7 @@ impl Machine {
                     }
                     // soe-lint: allow(slice-index): every per-thread vector is sized to traces.len() at construction
                     self.positions[self.current.index()] += 1;
+                    self.total_retired += 1;
                     if e.uop.kind == UopKind::Pause
                         && self.multi()
                         && self.policy.on_pause(self.current, now) == SwitchDecision::Switch
@@ -357,17 +379,32 @@ impl Machine {
     }
 
     /// Issue: select ready reservation-station entries oldest-first.
+    ///
+    /// Skipped outright while `issue_quiet` holds: if the previous scan
+    /// issued nothing and was never turned away by a busy functional
+    /// unit, then every waiting entry was blocked on an unfinished
+    /// producer (or forwarding store), and only a completion or a new
+    /// dispatch — both of which clear the flag — can change that.
     fn issue_stage(&mut self, now: Cycle) -> bool {
+        if self.issue_quiet || self.rob.waiting_count() == 0 {
+            return false;
+        }
         let mut issued = 0;
         let mut progress = false;
-        let waiting: Vec<InstrIndex> = self
-            .rob
-            .iter()
-            .filter(|e| e.state == EntryState::Waiting)
-            .map(|e| e.index)
-            .collect();
-        for idx in waiting {
+        let mut blocked_on_fu = false;
+        let mut waiting = std::mem::take(&mut self.scratch_waiting);
+        self.rob.collect_issue_candidates(now, &mut waiting);
+        // Calendar-deferred entries are excluded from the scan; the
+        // debug sweep keeps the recorded readiness bounds honest.
+        #[cfg(debug_assertions)]
+        self.rob.assert_deferrals_valid(now);
+        // Candidates not re-parked below (issued, or vanished in a
+        // squash race) leave the tracker; everything from `unexamined`
+        // on goes back to the retry queue.
+        let mut unexamined = waiting.len();
+        for (pos, idx) in waiting.iter().copied().enumerate() {
             if issued >= self.cfg.pipeline.issue_width {
+                unexamined = pos;
                 break;
             }
             // `waiting` indexes were read from the ROB this cycle and
@@ -376,27 +413,41 @@ impl Machine {
             let Some(e) = self.rob.get(idx).copied() else {
                 continue;
             };
-            let ready = e
-                .uop
-                .src_dist
-                .iter()
-                .all(|d| self.rob.producer_done(idx, *d));
-            if !ready {
-                continue;
+            let mut blocker = None;
+            for d in e.uop.src_dist {
+                if let Some(b) = self.rob.producer_blocker(idx, d, now) {
+                    blocker = Some(b);
+                    break;
+                }
             }
             // Memory disambiguation: a load with an older in-flight store
             // to the same address waits until the store's data is ready,
-            // then forwards.
+            // then forwards. A not-done blocking store blocks the load
+            // the same way a producer does.
             let mut forward = false;
-            if e.uop.kind == UopKind::Load {
+            if blocker.is_none() && e.uop.kind == UopKind::Load {
                 if let Some(st) = self.rob.older_store_to(idx, e.uop.mem_addr()) {
-                    if st.state != EntryState::Done {
-                        continue;
+                    match st.state {
+                        EntryState::Done => forward = true,
+                        EntryState::Executing(done) => blocker = Some(Blocker::At(done)),
+                        EntryState::Waiting => blocker = Some(Blocker::On(st.index)),
                     }
-                    forward = true;
                 }
             }
+            match blocker {
+                Some(Blocker::At(at)) => {
+                    self.rob.defer_issue(idx, at);
+                    continue;
+                }
+                Some(Blocker::On(p)) => {
+                    self.rob.park_on_producer(idx, p);
+                    continue;
+                }
+                None => {}
+            }
             let Some(fu_done) = self.fu.try_issue(e.uop.kind, now) else {
+                blocked_on_fu = true;
+                self.rob.requeue_issue_candidate(idx);
                 continue;
             };
             let (done, mem_pending) = match e.uop.kind {
@@ -422,14 +473,18 @@ impl Machine {
                 }
                 _ => (fu_done, false),
             };
-            let Some(entry) = self.rob.get_mut(idx) else {
-                continue;
-            };
-            entry.state = EntryState::Executing(done.max(now + 1));
-            entry.mem_pending = mem_pending;
-            issued += 1;
-            progress = true;
+            if self.rob.set_executing(idx, done.max(now + 1), mem_pending) {
+                issued += 1;
+                progress = true;
+            } else {
+                self.rob.requeue_issue_candidate(idx);
+            }
         }
+        for idx in waiting.iter().copied().skip(unexamined) {
+            self.rob.requeue_issue_candidate(idx);
+        }
+        self.scratch_waiting = waiting;
+        self.issue_quiet = issued == 0 && !blocked_on_fu;
         progress
     }
 
@@ -462,6 +517,10 @@ impl Machine {
             waiting += 1;
             self.rob.push(e.index, e.uop, e.mispredicted);
             progress = true;
+        }
+        if progress {
+            // Fresh entries may be immediately ready to issue.
+            self.issue_quiet = false;
         }
         progress
     }
@@ -521,6 +580,7 @@ impl Machine {
         };
         self.switch_started = Some(now);
         self.stall_reported = None;
+        self.issue_quiet = false;
     }
 
     fn complete_switch_in(&mut self, next: ThreadId, now: Cycle) {
@@ -531,6 +591,7 @@ impl Machine {
         self.fetch.restart(pos, now);
         self.run_started = None;
         self.stall_reported = None;
+        self.issue_quiet = false;
         if let Some(t) = &self.tracer {
             t.borrow_mut().emit(now, EventKind::SwitchIn { tid: next });
         }
@@ -551,15 +612,18 @@ impl Machine {
             // count *before* this cycle's retirements — identically
             // whether the boundary was reached tick-by-tick or jumped
             // over by the quiescent fast-forward.
-            let retired: InstrIndex = self.positions.iter().sum();
-            t.borrow_mut().advance(now, retired);
+            t.borrow_mut().advance(now, self.total_retired);
         }
         if let CoreState::Draining { until, next } = self.state {
             if now >= until {
                 self.complete_switch_in(next, now);
             } else {
+                // Nothing but the cycle counter evolves during a drain
+                // (stages, store buffer and policy are all skipped), so
+                // report no progress and let the quiescent fast-forward
+                // jump straight to `until`.
                 self.now += 1;
-                return true;
+                return false;
             }
         }
         self.fu.begin_cycle(now);
@@ -585,18 +649,24 @@ impl Machine {
 
     /// The next cycle at which anything can happen, for fast-forwarding
     /// over quiescent stalls. `None` means the machine is wedged.
+    ///
+    /// O(log ROB): the earliest in-flight completion comes from the
+    /// ROB's incrementally maintained completion calendar instead of a
+    /// full entry scan (a debug assertion in the ROB cross-checks the
+    /// two), and the remaining sources are O(1) front-end and policy
+    /// timestamps.
     fn next_event(&self) -> Option<Cycle> {
+        if let CoreState::Draining { until, .. } = self.state {
+            // During a drain the stages, the store buffer and the policy
+            // are all skipped, so the switch-in is the only event.
+            return Some(until);
+        }
         let mut next: Option<Cycle> = None;
         let mut consider = |c: Cycle| {
             next = Some(next.map_or(c, |n| n.min(c)));
         };
-        if let CoreState::Draining { until, .. } = self.state {
-            consider(until);
-        }
-        for e in self.rob.iter() {
-            if let EntryState::Executing(done) = e.state {
-                consider(done);
-            }
+        if let Some(c) = self.rob.earliest_completion() {
+            consider(c);
         }
         if let Some(c) = self.fetch.next_activity() {
             consider(c.max(self.now));
@@ -606,6 +676,22 @@ impl Machine {
         }
         if !self.store_queue.is_empty() {
             consider(self.store_drain_at.max(self.now + 1));
+        }
+        if self.cfg.exact_policy_events && self.multi() {
+            // A scheduled policy decision (Δ-window recalculation, cycle
+            // quota) is an event too: stopping the jump there keeps
+            // fast-forward runs cycle-exact with ticked ones. Off by
+            // default: historically jumps overshot scheduled decisions
+            // to the next machine event, and the recorded experiment
+            // baselines pin that behaviour (see `MachineConfig`).
+            // Clamp to `now`, not `now + 1`: after a no-progress tick
+            // `self.now` is the next *unprocessed* cycle, and a decision
+            // due exactly there must suppress the jump (the caller skips
+            // jumps to `now`) so the ordinary tick consults the policy on
+            // time rather than one cycle late.
+            if let Some(c) = self.policy.next_decision_at(self.current, self.now) {
+                consider(c.max(self.now));
+            }
         }
         next
     }
@@ -618,7 +704,12 @@ impl Machine {
             match self.next_event() {
                 Some(next) if next > self.now => {
                     self.now = next.min(limit);
-                    self.stats.cycles = self.now;
+                    if matches!(self.state, CoreState::Running) {
+                        // Drain jumps leave `stats.cycles` where ticked
+                        // drains left it: it is refreshed by the first
+                        // post-drain tick.
+                        self.stats.cycles = self.now;
+                    }
                 }
                 Some(_) => {}
                 None => {
@@ -666,12 +757,12 @@ impl Machine {
         stall_window: Option<Cycle>,
     ) -> Result<(), SimError> {
         let end = self.now + cycles;
-        let mut last_retired: InstrIndex = self.positions.iter().sum();
+        let mut last_retired = self.total_retired;
         let mut last_progress = self.now;
         while self.now < end {
             self.step(end)?;
             if let Some(window) = stall_window {
-                let retired: InstrIndex = self.positions.iter().sum();
+                let retired = self.total_retired;
                 if retired != last_retired {
                     last_retired = retired;
                     last_progress = self.now;
@@ -696,7 +787,9 @@ impl Machine {
     /// Panics if the target is not reached within `max_cycles` additional
     /// cycles — a liveness guard against mis-configured experiments.
     pub fn run_until_retired(&mut self, instrs: u64, max_cycles: Cycle) {
-        let targets: Vec<u64> = self.positions.iter().map(|p| p + instrs).collect();
+        let mut targets = std::mem::take(&mut self.scratch_targets);
+        targets.clear();
+        targets.extend(self.positions.iter().map(|p| p + instrs));
         let deadline = self.now + max_cycles;
         while self.positions.iter().zip(&targets).any(|(p, t)| p < t) {
             assert!(
@@ -712,6 +805,7 @@ impl Machine {
                 panic!("{e}");
             }
         }
+        self.scratch_targets = targets;
     }
 }
 
@@ -809,6 +903,57 @@ mod tests {
         let (r2, c2) = mk(false);
         assert_eq!(r2, r1, "fast-forward changed retirement count");
         assert_eq!(c2, c1);
+    }
+
+    #[test]
+    fn fast_forward_is_invisible_under_soe_with_tracer() {
+        use crate::obs::{SharedTracer, TraceConfig, Tracer};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        // Two-thread SOE run with the tracer attached: jumps must leave
+        // the full statistics block and the event stream untouched, not
+        // just the retirement totals. (The fairness-policy variant, which
+        // additionally needs `exact_policy_events`, lives in the root
+        // `fast_forward_invariance` suite — the policy is a client crate.)
+        let mk = |ff: bool| {
+            let mut cfg = MachineConfig::test_config();
+            cfg.fast_forward = ff;
+            cfg.exact_policy_events = true;
+            let mut m = Machine::new(
+                cfg,
+                vec![
+                    Box::new(MissEvery {
+                        ipm: 2_000,
+                        region: 0x100_0000,
+                    }),
+                    Box::new(MissEvery {
+                        ipm: 8,
+                        region: 0x900_0000,
+                    }),
+                ],
+                Box::new(SwitchOnEvent::new()),
+            );
+            let tracer: SharedTracer = Rc::new(RefCell::new(Tracer::new(TraceConfig::default())));
+            m.attach_tracer(Rc::clone(&tracer));
+            m.run_cycles(60_000);
+            let trace = tracer.borrow_mut().take();
+            (m.stats().clone(), trace)
+        };
+        let (stats_jump, trace_jump) = mk(true);
+        let (stats_tick, trace_tick) = mk(false);
+        assert!(
+            stats_tick.total_switches > 0,
+            "workload never switched; the test is vacuous"
+        );
+        assert!(!trace_tick.events.is_empty(), "no events traced");
+        assert_eq!(
+            stats_tick, stats_jump,
+            "fast-forward changed SOE statistics"
+        );
+        assert_eq!(
+            trace_tick, trace_jump,
+            "fast-forward changed the trace stream"
+        );
     }
 
     /// A synthetic thread missing the L2 every `ipm` instructions

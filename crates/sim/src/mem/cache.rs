@@ -76,6 +76,7 @@ pub struct Cache {
     stats: CacheStats,
     line_shift: u32,
     set_mask: u64,
+    sets_shift: u32,
 }
 
 impl Cache {
@@ -93,6 +94,7 @@ impl Cache {
             stats: CacheStats::default(),
             line_shift: cfg.line_bytes.trailing_zeros(),
             set_mask: (cfg.sets - 1) as u64,
+            sets_shift: cfg.sets.trailing_zeros(),
             cfg,
         }
     }
@@ -112,7 +114,7 @@ impl Cache {
     }
 
     fn tag(&self, addr: Addr) -> u64 {
-        addr >> self.line_shift >> self.cfg.sets.trailing_zeros()
+        addr >> self.line_shift >> self.sets_shift
     }
 
     fn set(&mut self, addr: Addr) -> &mut [Line] {
@@ -170,7 +172,7 @@ impl Cache {
         let tag = self.tag(addr);
         let set_idx = self.set_index(addr);
         let ways = self.cfg.ways;
-        let sets_shift = self.cfg.sets.trailing_zeros();
+        let sets_shift = self.sets_shift;
         let line_shift = self.line_shift;
         // soe-lint: allow(slice-index): set_index masks with sets-1 and lines has sets*ways entries
         let set = &mut self.lines[set_idx * ways..(set_idx + 1) * ways];

@@ -106,6 +106,23 @@ pub trait SwitchPolicy {
         SwitchDecision::Continue
     }
 
+    /// The next cycle at or after `now` at which
+    /// [`SwitchPolicy::each_cycle`] could do anything — return `Switch`
+    /// or mutate policy state (a Δ-window recalculation, a cycle-quota
+    /// expiry). `None` — the default — means "never": `each_cycle` is a
+    /// pure `Continue` between machine events.
+    ///
+    /// The machine treats this as an event source for its quiescent
+    /// fast-forward: a jump over a stall stops at the returned cycle so
+    /// the decision fires at exactly the cycle it would have fired at
+    /// in a tick-by-tick run. Implementations with any time-scheduled
+    /// behaviour in `each_cycle` must override this, or fast-forward
+    /// runs will take those decisions late.
+    fn next_decision_at(&self, tid: ThreadId, now: Cycle) -> Option<Cycle> {
+        let _ = (tid, now);
+        None
+    }
+
     /// Downcast hook: policies that accumulate state worth reading back
     /// after a run (e.g. the fairness engine's per-window estimates)
     /// return `Some(self)`.

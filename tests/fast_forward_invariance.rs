@@ -1,0 +1,156 @@
+//! Fast-forward invariance under the full fairness mechanism.
+//!
+//! The cycle loop may jump over quiescent stretches instead of ticking
+//! through them, but a jump is only legal if it is invisible: every
+//! statistic, every fairness decision and every trace event must land on
+//! the same cycle as in a tick-by-tick run. The unit test in
+//! `crates/sim/src/core.rs` (`fast_forward_is_invisible_*`) covers the
+//! bare machine; this suite closes the loop over the *clients* the sim
+//! crate cannot see — the paper's `FairnessPolicy` with its scheduled
+//! Δ-window recalculations and cycle quotas, and the full pair runner.
+//!
+//! All runs here set `MachineConfig::exact_policy_events`, which makes
+//! scheduled policy decision points machine events so jumps stop at
+//! them. Without it, jumps overshoot scheduled decisions to the next
+//! machine event (the historical behaviour the recorded experiment
+//! baselines pin), and enforced-fairness runs would legitimately differ
+//! between the two modes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use soe_core::runner::{try_run_pair_traced, try_run_single, RunConfig};
+use soe_core::FairnessPolicy;
+use soe_model::FairnessLevel;
+use soe_sim::obs::{SharedTracer, TraceConfig, Tracer};
+use soe_sim::{Machine, MachineConfig};
+use soe_workloads::pairs::paper_pairs;
+use soe_workloads::{InstrMix, MemoryBehavior, Profile, SyntheticTrace};
+
+/// Short-but-real sizing with the policy cadence scaled down to match,
+/// so a run still sees several Δ recalculations and quota expiries.
+fn cfg(measure_cycles: u64) -> RunConfig {
+    let mut cfg = RunConfig::quick();
+    cfg.machine.exact_policy_events = true;
+    cfg.warmup_cycles = 30_000;
+    cfg.measure_cycles = measure_cycles;
+    cfg.fairness.delta = 12_000;
+    cfg.fairness.max_cycles_quota = 5_000;
+    cfg.fairness.min_quota_cycles = 300;
+    cfg.trace = Some(TraceConfig::default());
+    cfg
+}
+
+/// A compact version of the random workload generator used by
+/// `proptest_sim`: enough variety to exercise misses, dependency
+/// stalls and branchy code without wedging the machine.
+fn profile_strategy() -> impl Strategy<Value = Profile> {
+    (
+        0u64..u64::MAX,
+        0.05f64..0.4, // load fraction
+        1.0f64..8.0,  // mean dependency distance
+        0.6f64..1.0,  // branch predictability
+        0.0f64..0.02, // cold load probability
+    )
+        .prop_map(|(seed, load, dep, pred, cold)| Profile {
+            name: "ff-prop".into(),
+            seed,
+            mix: InstrMix {
+                load,
+                store: 0.08,
+                mul: 0.02,
+                div: 0.001,
+            },
+            mean_dep_dist: dep,
+            branch_predictability: pred,
+            block_len: 12,
+            code_lines: 96,
+            call_block_frac: 0.1,
+            mem: MemoryBehavior {
+                hot_lines: 64,
+                warm_lines: 512,
+                cold_load_prob: cold,
+                warm_load_prob: 0.05,
+                cold_store_prob: cold / 4.0,
+            },
+            phases: Vec::new(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Over random paper pairs, fairness targets and sizings: running
+    /// the traced pair runner with fast-forward on and off yields an
+    /// identical [`PairRun`] and an identical trace stream.
+    #[test]
+    fn fast_forward_invisible_for_fairness_pairs(
+        pair_idx in 0usize..16,
+        f_idx in 0usize..4,
+        measure in 100_000u64..180_000,
+    ) {
+        let pairs = paper_pairs();
+        let pair = &pairs[pair_idx];
+        let f = FairnessLevel::paper_levels()[f_idx];
+        let base = cfg(measure);
+
+        // One singles array shared by both runs: any difference in the
+        // assembled PairRun must come from the pair simulation itself.
+        let (a, b) = pair.traces();
+        let singles = [
+            try_run_single(Box::new(a), &base).expect("single run failed"),
+            try_run_single(Box::new(b), &base).expect("single run failed"),
+        ];
+        let run = |ff: bool| {
+            let mut c = base;
+            c.machine.fast_forward = ff;
+            try_run_pair_traced(pair, f, &singles, &c).expect("pair run failed")
+        };
+        let jump = run(true);
+        let tick = run(false);
+        prop_assert!(!tick.trace.events.is_empty(), "no events traced");
+        prop_assert_eq!(tick.run, jump.run);
+        prop_assert_eq!(tick.trace, jump.trace);
+    }
+
+    /// Over random synthetic workloads and seeds: a machine driven
+    /// directly by the [`FairnessPolicy`] (tracer attached) produces
+    /// identical statistics and an identical trace stream with
+    /// fast-forward on and off.
+    #[test]
+    fn fast_forward_invisible_for_random_seeds(
+        pa in profile_strategy(),
+        pb in profile_strategy(),
+        seed_a in 0u64..1_000,
+        seed_b in 0u64..1_000,
+        f_idx in 0usize..4,
+    ) {
+        let f = FairnessLevel::paper_levels()[f_idx];
+        let mut fcfg = RunConfig::quick().fairness;
+        fcfg.target = f;
+        fcfg.delta = 8_000;
+        fcfg.max_cycles_quota = 3_000;
+        fcfg.min_quota_cycles = 300;
+
+        let mk = |ff: bool| {
+            let mut mc = MachineConfig::test_config();
+            mc.fast_forward = ff;
+            mc.exact_policy_events = true;
+            let tracer: SharedTracer =
+                Rc::new(RefCell::new(Tracer::new(TraceConfig::default())));
+            let policy = FairnessPolicy::new(2, fcfg).with_tracer(Rc::clone(&tracer));
+            let a = SyntheticTrace::new(pa.clone(), 0x10_0000_0000, seed_a);
+            let b = SyntheticTrace::new(pb.clone(), 0x20_0000_0000, seed_b);
+            let mut m = Machine::new(mc, vec![Box::new(a), Box::new(b)], Box::new(policy));
+            m.attach_tracer(Rc::clone(&tracer));
+            m.run_cycles(60_000);
+            let trace = tracer.borrow_mut().take();
+            (m.stats().clone(), trace)
+        };
+        let (stats_jump, trace_jump) = mk(true);
+        let (stats_tick, trace_tick) = mk(false);
+        prop_assert_eq!(stats_tick, stats_jump);
+        prop_assert_eq!(trace_tick, trace_jump);
+    }
+}
