@@ -26,9 +26,8 @@ use std::path::PathBuf;
 use serde::{Deserialize, Serialize};
 use soe_core::pool::Job;
 use soe_core::runner::{try_run_pair, try_run_single, RunConfig};
-use soe_core::{
-    atomic_write, supervise_jobs_with, Journal, Quarantined, SuperviseOptions, SuperviseReport,
-};
+use soe_core::{atomic_write, supervise_jobs_with, Journal, SuperviseOptions, SuperviseReport};
+pub use soe_core::{FailureManifest, SkippedRun};
 use soe_core::{PairRun, SingleRun};
 use soe_model::FairnessLevel;
 use soe_workloads::pairs::paper_pairs;
@@ -67,35 +66,6 @@ impl ResultSet {
                     .expect("every pair has every level")
             })
             .collect()
-    }
-}
-
-/// A run excluded from the matrix without being attempted, because
-/// something it depends on was quarantined.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct SkippedRun {
-    /// The run's journal key (`pair/gcc:eon/F=1/2`).
-    pub key: String,
-    /// Why it could not run.
-    pub reason: String,
-}
-
-/// Everything that kept a matrix from completing: runs whose every
-/// attempt failed, and runs skipped because a dependency failed.
-/// Serialized next to the results cache so a partial matrix is an
-/// explicit, inspectable state rather than a silent one.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct FailureManifest {
-    /// Runs quarantined after exhausting their retry budget.
-    pub quarantined: Vec<Quarantined>,
-    /// Runs never attempted (e.g. their single-thread reference failed).
-    pub skipped: Vec<SkippedRun>,
-}
-
-impl FailureManifest {
-    /// Whether the matrix completed with nothing missing.
-    pub fn is_empty(&self) -> bool {
-        self.quarantined.is_empty() && self.skipped.is_empty()
     }
 }
 
@@ -326,6 +296,10 @@ pub fn run_matrix_supervised(
         } else {
             j.reset()?;
         }
+        // Arm the journal with the same fault plan as the runs, so an
+        // `io:P` class in SOE_FAULTS also exercises the append path
+        // (which retries internally before surfacing an error).
+        j.set_faults(opts.supervise.faults);
     }
     let mut manifest = FailureManifest::default();
     let mut reused = 0;

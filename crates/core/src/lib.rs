@@ -52,6 +52,7 @@ pub mod obs;
 mod policy;
 pub mod pool;
 pub mod runner;
+pub mod serve;
 pub mod supervise;
 pub mod timeseries;
 
@@ -65,6 +66,7 @@ pub use obs::MetricsRegistry;
 pub use policy::{FairnessConfig, FairnessPolicy, MissLatencyMode, TimeSlicePolicy};
 pub use pool::{resolve_workers, run_jobs, try_run_jobs, Job, JobError, PoolOptions};
 pub use supervise::{
-    atomic_write, supervise_jobs, supervise_jobs_with, FailureKind, Fault, FaultPlan, JobFailure,
-    Journal, JournalRecovery, Quarantined, SuperviseOptions, SuperviseReport,
+    atomic_write, supervise_call, supervise_jobs, supervise_jobs_with, FailureKind,
+    FailureManifest, Fault, FaultPlan, JobFailure, Journal, JournalRecovery, Quarantined,
+    SkippedRun, SuperviseOptions, SuperviseReport,
 };

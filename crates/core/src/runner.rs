@@ -381,8 +381,42 @@ pub fn run_multi(
     cfg: &RunConfig,
 ) -> PairRun {
     assert_eq!(singles.len(), names.len(), "one reference per thread");
-    let traces = soe_workloads::pairs::group_traces(names);
     let policy = FairnessPolicy::new(names.len(), cfg.with_target(f));
+    try_run_multi_with_policy(names, Box::new(policy), Some(f), singles, cfg)
+        // soe-lint: allow(panic-macro): documented panicking wrapper; callers wanting errors use the try_ form
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs an N-thread group under an arbitrary policy, returning
+/// structured [`SimError`]s instead of panicking — the entry point the
+/// `serve` service layer schedules scenario requests through.
+///
+/// Unlike [`run_multi`], a `singles`/`names` length mismatch is reported
+/// as [`SimError::InvalidConfig`] rather than a panic: the roster comes
+/// from an untrusted request, not from a caller-controlled constant.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] before the machine is built;
+/// [`SimError::Stalled`] / [`SimError::Wedged`] from the run itself.
+pub fn try_run_multi_with_policy(
+    names: &[&str],
+    policy: Box<dyn SwitchPolicy>,
+    target: Option<FairnessLevel>,
+    singles: &[SingleRun],
+    cfg: &RunConfig,
+) -> Result<PairRun, SimError> {
+    if singles.len() != names.len() {
+        return Err(SimError::InvalidConfig(format!(
+            "{} single-thread reference(s) for a {}-thread roster",
+            singles.len(),
+            names.len()
+        )));
+    }
+    cfg.machine
+        .check()
+        .map_err(|e| SimError::InvalidConfig(e.0))?;
+    let traces = soe_workloads::pairs::group_traces(names);
     let policy_name = policy.name().to_string();
     let mut m = Machine::new(
         cfg.machine,
@@ -390,22 +424,29 @@ pub fn run_multi(
             .into_iter()
             .map(|t| Box::new(t) as Box<dyn TraceSource>)
             .collect(),
-        Box::new(policy),
+        policy,
     );
-    m.run_cycles(cfg.warmup_cycles);
+    m.try_run_cycles(cfg.warmup_cycles, cfg.stall_window)?;
     m.reset_stats();
+    if let Some(p) = m
+        .policy_mut()
+        .as_any_mut()
+        .and_then(|a| a.downcast_mut::<FairnessPolicy>())
+    {
+        p.clear_records();
+    }
     let start = m.now();
-    m.run_cycles(cfg.measure_cycles);
+    m.try_run_cycles(cfg.measure_cycles, cfg.stall_window)?;
     let cycles = m.now() - start;
     let stats = m.stats().clone();
-    assemble_pair_run(
+    Ok(assemble_pair_run(
         names.join(":"),
         policy_name,
-        Some(f),
+        target,
         cycles,
         &stats,
         singles,
-    )
+    ))
 }
 
 /// Measures the two single-thread references of a pair.

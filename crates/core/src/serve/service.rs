@@ -1,0 +1,821 @@
+//! The service loop: accept → validate → fair-queue → supervise →
+//! respond, with journaled exactly-once semantics and graceful drain.
+//!
+//! # Lifecycle
+//!
+//! One reader thread feeds request lines into the loop; each dispatched
+//! request runs under [`supervise_call`] (watchdog timeout,
+//! retry-with-backoff, quarantine) on its own manager thread. The loop
+//! multiplexes line arrival, request completion, and shutdown:
+//!
+//! * **EOF** — stop accepting, *drain everything*: every queued request
+//!   still runs and is answered.
+//! * **Shutdown** (SIGTERM via the `shutdown` flag, or a
+//!   `control:"shutdown"` request) — stop accepting *and* stop
+//!   dispatching; in-flight requests finish and are answered; queued
+//!   requests stay journaled (`req/<id>` without `res/<id>`) and are
+//!   replayed by the next `--resume` session.
+//!
+//! # Exactly-once
+//!
+//! An accepted request is journaled (`req/<id>` → the canonical request
+//! JSON) *before* it is queued; its response is journaled (`res/<id>` →
+//! the response line) before it is emitted. On `--resume` every
+//! journaled response is re-emitted verbatim and every accepted-but-
+//! unanswered request is re-queued — so each accepted request is
+//! answered exactly once across sessions, byte-identical to an
+//! uninterrupted run (results are deterministic and contain no
+//! wall-clock state). Refused work (shed, rejected) is answered but
+//! never journaled: refusal is not acceptance.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Value;
+use soe_model::FairnessLevel;
+use soe_sim::SwitchPolicy;
+use soe_workloads::Checkpoint;
+
+use crate::metrics::SingleRun;
+use crate::policy::{FairnessPolicy, TimeSlicePolicy};
+use crate::runner::{try_run_multi_with_policy, try_run_single, RunConfig};
+use crate::serve::memo::{fnv1a64, MemoCache, MemoLookup};
+use crate::serve::proto::{parse_request, Request, Response, Scenario, ScenarioResult};
+use crate::serve::queue::{FairQueue, QueueDiscipline};
+use crate::serve::slo::{ClientTally, SloReport};
+use crate::supervise::{
+    supervise_call, FailureManifest, FaultPlan, Journal, Quarantined, SkippedRun, SuperviseOptions,
+};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Concurrent scenario simulations.
+    pub workers: usize,
+    /// Per-client queue bound (DRR discipline only).
+    pub capacity: usize,
+    /// DRR quantum, in scenario cost units (thread-cycles); one
+    /// micro-sized two-thread scenario costs ~240k.
+    pub quantum: f64,
+    /// Queue discipline ([`QueueDiscipline::DeficitRoundRobin`] unless
+    /// deliberately running the starvation baseline).
+    pub discipline: QueueDiscipline,
+    /// Watchdog wall-clock budget per simulation attempt.
+    pub timeout: Option<Duration>,
+    /// Retries after a failed attempt before quarantining.
+    pub retries: u32,
+    /// Initial retry backoff (doubles per retry).
+    pub backoff: Duration,
+    /// Deterministic fault injection (`SOE_FAULTS`), service classes
+    /// included (`io`, `drop`, `slow`).
+    pub faults: Option<FaultPlan>,
+    /// Where to journal accepted requests and responses; `None`
+    /// disables crash recovery.
+    pub journal: Option<PathBuf>,
+    /// Replay the journal on startup instead of truncating it.
+    pub resume: bool,
+    /// Warmup-checkpoint memo cache directory; `None` disables
+    /// memoization.
+    pub memo_dir: Option<PathBuf>,
+    /// Print progress lines to stderr.
+    pub progress: bool,
+}
+
+impl ServeConfig {
+    /// Defaults: 2 workers, DRR with capacity 8 and a one-micro-request
+    /// quantum, 60 s watchdog, 2 retries from 100 ms, no journal, no
+    /// memo, quiet.
+    pub fn new() -> Self {
+        Self {
+            workers: 2,
+            capacity: 8,
+            quantum: 250_000.0,
+            discipline: QueueDiscipline::DeficitRoundRobin,
+            timeout: Some(Duration::from_secs(60)),
+            retries: 2,
+            backoff: Duration::from_millis(100),
+            faults: None,
+            journal: None,
+            resume: false,
+            memo_dir: None,
+            progress: false,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending knob.
+    pub fn check(&self) -> Result<(), String> {
+        if self.workers == 0 || self.workers > 256 {
+            return Err(format!("workers must be in 1..=256, got {}", self.workers));
+        }
+        if self.capacity == 0 || self.capacity > 65_536 {
+            return Err(format!(
+                "capacity must be in 1..=65536, got {}",
+                self.capacity
+            ));
+        }
+        if !self.quantum.is_finite() || self.quantum <= 0.0 {
+            return Err(format!(
+                "quantum must be positive and finite, got {}",
+                self.quantum
+            ));
+        }
+        if let Some(t) = self.timeout {
+            if t.is_zero() {
+                return Err("timeout must be nonzero (or None for no watchdog)".to_string());
+            }
+        }
+        if self.retries > 10 {
+            return Err(format!("retries must be at most 10, got {}", self.retries));
+        }
+        if self.backoff > Duration::from_secs(60) {
+            return Err(format!(
+                "backoff must be at most 60s, got {:?}",
+                self.backoff
+            ));
+        }
+        if self.resume && self.journal.is_none() {
+            return Err("resume requires a journal path".to_string());
+        }
+        // No invariants beyond type-validity for the remaining knobs.
+        let _ = (
+            &self.discipline,
+            &self.faults,
+            &self.memo_dir,
+            self.progress,
+        );
+        Ok(())
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What a service session produced (besides the response stream).
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Per-client service levels and the fairness index.
+    pub report: SloReport,
+    /// Quarantined and dropped requests.
+    pub manifest: FailureManifest,
+    /// Accepted requests left journaled but unanswered (nonzero only
+    /// after a shutdown-without-drain; replayable with `resume`).
+    pub pending: u64,
+}
+
+/// A request admitted to the queue.
+struct PendingReq {
+    req: Request,
+    scenario: Scenario,
+    accepted_at: Instant,
+    /// Value of the dispatch counter when this request was accepted —
+    /// queue wait is measured in dispatches that happened in between.
+    arrival_dispatched: u64,
+}
+
+/// A request handed to a worker, awaiting completion.
+struct InFlight {
+    id: String,
+    client: String,
+    accepted_at: Instant,
+    memo_key: Option<String>,
+}
+
+enum Event {
+    Line(String),
+    Eof,
+    Done {
+        seq: u64,
+        outcome: Result<String, Quarantined>,
+    },
+}
+
+/// Bookkeeping shared by every response path.
+struct Session<'a> {
+    out: &'a mut dyn Write,
+    journal: Option<Journal>,
+    memo: Option<MemoCache>,
+    tallies: BTreeMap<String, ClientTally>,
+    manifest: FailureManifest,
+    seen: BTreeSet<String>,
+    served: u64,
+    replayed: u64,
+    shed: u64,
+    rejected: u64,
+    dropped: u64,
+    quarantined: u64,
+    progress: bool,
+}
+
+impl Session<'_> {
+    fn tally(&mut self, client: &str) -> &mut ClientTally {
+        self.tallies.entry(client.to_string()).or_default()
+    }
+
+    /// Serializes `resp`, journals it under `res/<id>` when `journal_id`
+    /// is set, and writes it to the output stream.
+    fn respond(&mut self, journal_id: Option<&str>, resp: &Response) -> std::io::Result<()> {
+        let line = serde_json::to_string(resp).unwrap_or_default();
+        if let (Some(j), Some(id)) = (self.journal.as_mut(), journal_id) {
+            if let Err(e) = j.append(&format!("res/{id}"), &line) {
+                // The response still goes out; a restart may recompute
+                // and re-answer this request (deterministically, with
+                // identical bytes) — degraded durability, not data loss.
+                eprintln!("[soe-serve] journal append failed for res/{id}: {e}");
+            }
+        }
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()
+    }
+}
+
+/// Runs the service loop over `input`, writing response lines to `out`,
+/// until EOF (drain everything) or shutdown (finish in-flight, journal
+/// the rest). `shutdown` is polled between events — wire it to a
+/// SIGTERM handler's `AtomicBool`.
+///
+/// # Errors
+///
+/// Configuration errors ([`ServeConfig::check`]) as
+/// [`std::io::ErrorKind::InvalidInput`]; journal/output I/O errors.
+/// Malformed *requests* are never errors — they produce `error`
+/// responses.
+pub fn serve<R: Read + Send + 'static>(
+    input: R,
+    out: &mut dyn Write,
+    cfg: &ServeConfig,
+    shutdown: Option<&AtomicBool>,
+) -> std::io::Result<ServeOutcome> {
+    cfg.check()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    // soe-lint: allow(wall-clock): host wall-time for SLO latency reporting, never simulated state
+    let session_start = Instant::now();
+
+    let mut journal = match cfg.journal.as_deref() {
+        Some(path) => Some(Journal::open(path)?),
+        None => None,
+    };
+    if let Some(j) = journal.as_mut() {
+        if !cfg.resume {
+            j.reset()?;
+        }
+        j.set_faults(cfg.faults);
+    }
+    let memo = match cfg.memo_dir.as_deref() {
+        Some(dir) => Some(MemoCache::open(dir)?),
+        None => None,
+    };
+
+    let mut session = Session {
+        out,
+        journal,
+        memo,
+        tallies: BTreeMap::new(),
+        manifest: FailureManifest::default(),
+        seen: BTreeSet::new(),
+        served: 0,
+        replayed: 0,
+        shed: 0,
+        rejected: 0,
+        dropped: 0,
+        quarantined: 0,
+        progress: cfg.progress,
+    };
+    let mut queue: FairQueue<PendingReq> =
+        FairQueue::new(cfg.discipline, cfg.capacity, cfg.quantum);
+    let mut inflight: BTreeMap<u64, InFlight> = BTreeMap::new();
+    let mut dispatched: u64 = 0;
+    let mut seq: u64 = 0;
+
+    // --- Resume: re-emit journaled responses, re-queue unanswered
+    // accepted requests, in first-append order.
+    if cfg.resume {
+        let entries: Vec<(String, String)> = session
+            .journal
+            .as_ref()
+            .map(|j| {
+                j.iter()
+                    .filter_map(|(k, p)| {
+                        k.strip_prefix("req/")
+                            .map(|id| (id.to_string(), p.to_string()))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (id, payload) in entries {
+            let stored = session
+                .journal
+                .as_ref()
+                .and_then(|j| j.get(&format!("res/{id}")))
+                .map(str::to_string);
+            match stored {
+                Some(line) => {
+                    // Byte-identical replay of the already-journaled
+                    // response.
+                    session.out.write_all(line.as_bytes())?;
+                    session.out.write_all(b"\n")?;
+                    session.seen.insert(id.clone());
+                    session.replayed += 1;
+                    if let Ok(req) = serde_json::from_str::<Request>(&payload) {
+                        session.tally(&req.client).replayed += 1;
+                    }
+                }
+                None => match serde_json::from_str::<Request>(&payload) {
+                    Ok(req) if req.check().is_ok() && req.scenario.is_some() => {
+                        let Some(sc) = req.scenario.clone() else {
+                            continue;
+                        };
+                        session.seen.insert(id.clone());
+                        session.tally(&req.client).accepted += 1;
+                        let client = req.client.clone();
+                        // soe-lint: allow(wall-clock): host wall-time for SLO latency reporting, never simulated state
+                        let accepted_at = Instant::now();
+                        queue.push_forced(
+                            &client,
+                            sc.cost(),
+                            PendingReq {
+                                req,
+                                scenario: sc,
+                                accepted_at,
+                                arrival_dispatched: dispatched,
+                            },
+                        );
+                    }
+                    _ => session.manifest.skipped.push(SkippedRun {
+                        key: format!("req/{id}"),
+                        reason: "journaled request no longer parses or validates".to_string(),
+                    }),
+                },
+            }
+        }
+        session.out.flush()?;
+        if session.progress {
+            eprintln!(
+                "[soe-serve] resume: {} response(s) replayed, {} request(s) re-queued",
+                session.replayed,
+                queue.len()
+            );
+        }
+    }
+
+    // --- Reader thread: lines in, one Eof marker at the end. The main
+    // loop keeps its own Sender, so the channel never disconnects.
+    let (tx, rx) = mpsc::channel::<Event>();
+    {
+        let reader_tx = tx.clone();
+        std::thread::spawn(move || {
+            let buf = BufReader::new(input);
+            for line in buf.lines() {
+                let Ok(line) = line else { break };
+                if reader_tx.send(Event::Line(line)).is_err() {
+                    return;
+                }
+            }
+            let _ = reader_tx.send(Event::Eof);
+        });
+    }
+
+    let supervise_opts = SuperviseOptions {
+        workers: 1,
+        timeout: cfg.timeout,
+        retries: cfg.retries,
+        backoff: cfg.backoff,
+        faults: cfg.faults,
+        progress: false,
+    };
+
+    let mut eof = false;
+    let mut quit = false;
+    loop {
+        // Dispatch while workers are free (never after shutdown).
+        while !quit && inflight.len() < cfg.workers {
+            let Some((client, pending)) = queue.pop() else {
+                break;
+            };
+            dispatched += 1;
+            let wait = dispatched
+                .saturating_sub(1)
+                .saturating_sub(pending.arrival_dispatched) as f64;
+            session.tally(&client).queue_waits.push(wait);
+            let key = session.memo.as_ref().map(|_| memo_key(&pending.scenario));
+            // Memo probe: a validated hit completes the request without
+            // touching a worker; corruption falls back to a cold run.
+            if let (Some(cache), Some(k)) = (session.memo.clone(), key.as_deref()) {
+                match cache.load(k) {
+                    MemoLookup::Hit(payload) => {
+                        complete_ok(
+                            &mut session,
+                            &pending.req.id,
+                            &client,
+                            pending.accepted_at,
+                            &payload,
+                        );
+                        continue;
+                    }
+                    MemoLookup::Corrupt(reason) => {
+                        eprintln!("[soe-serve] memo entry invalid, cold-running: {reason}");
+                    }
+                    MemoLookup::Miss => {}
+                }
+            }
+            seq += 1;
+            inflight.insert(
+                seq,
+                InFlight {
+                    id: pending.req.id.clone(),
+                    client: client.clone(),
+                    accepted_at: pending.accepted_at,
+                    memo_key: key,
+                },
+            );
+            let label = format!("req/{}", pending.req.id);
+            let opts = supervise_opts;
+            let scenario = pending.scenario.clone();
+            let worker_tx = tx.clone();
+            let this_seq = seq;
+            std::thread::spawn(move || {
+                let outcome = supervise_call(
+                    &label,
+                    this_seq as usize,
+                    &opts,
+                    Arc::new(move || run_scenario(&scenario)),
+                );
+                let _ = worker_tx.send(Event::Done {
+                    seq: this_seq,
+                    outcome,
+                });
+            });
+        }
+
+        if let Some(flag) = shutdown {
+            if flag.load(Ordering::SeqCst) {
+                quit = true;
+            }
+        }
+        // Terminal condition: nothing running, and either we are
+        // quitting (queued requests stay journaled) or there is nothing
+        // left to accept or dispatch.
+        if inflight.is_empty() && (quit || (eof && queue.is_empty())) {
+            break;
+        }
+
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(Event::Line(line)) => {
+                if !quit && handle_line(&mut session, &mut queue, cfg, dispatched, &line)? {
+                    quit = true;
+                }
+            }
+            Ok(Event::Eof) => eof = true,
+            Ok(Event::Done { seq, outcome }) => {
+                let Some(meta) = inflight.remove(&seq) else {
+                    continue;
+                };
+                match outcome {
+                    Ok(payload) => {
+                        if let (Some(cache), Some(k)) =
+                            (session.memo.clone(), meta.memo_key.as_deref())
+                        {
+                            if let Err(e) = cache.store(k, &payload) {
+                                eprintln!("[soe-serve] memo store failed for {k}: {e}");
+                            }
+                        }
+                        complete_ok(
+                            &mut session,
+                            &meta.id,
+                            &meta.client,
+                            meta.accepted_at,
+                            &payload,
+                        );
+                    }
+                    Err(q) => {
+                        let message = q
+                            .failures
+                            .last()
+                            .map(|f| f.message.clone())
+                            .unwrap_or_default();
+                        let attempts = q.failures.len() as u64;
+                        session.manifest.quarantined.push(q);
+                        session.quarantined += 1;
+                        let t = session.tally(&meta.client);
+                        t.quarantined += 1;
+                        t.latencies_ms
+                            .push(meta.accepted_at.elapsed().as_secs_f64() * 1_000.0);
+                        let resp = Response::Quarantined {
+                            id: meta.id.clone(),
+                            client: meta.client.clone(),
+                            attempts,
+                            message,
+                        };
+                        session.respond(Some(&meta.id), &resp)?;
+                        if session.progress {
+                            eprintln!("[soe-serve] quarantined req/{}", meta.id);
+                        }
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    let pending = queue.len() as u64;
+    let drain = Response::Drain {
+        served: session.served,
+        replayed: session.replayed,
+        shed: session.shed,
+        rejected: session.rejected,
+        dropped: session.dropped,
+        quarantined: session.quarantined,
+        pending,
+    };
+    // The drain summary is session state, not a request's answer: it is
+    // emitted but never journaled.
+    session.respond(None, &drain)?;
+
+    let wall_ms = session_start.elapsed().as_millis() as u64;
+    let report = SloReport::build(cfg.discipline.name(), wall_ms, &session.tallies);
+    Ok(ServeOutcome {
+        report,
+        manifest: session.manifest,
+        pending,
+    })
+}
+
+/// Emits (and journals) a `result` response.
+fn complete_ok(
+    session: &mut Session<'_>,
+    id: &str,
+    client: &str,
+    accepted_at: Instant,
+    payload: &str,
+) {
+    let value: Value = serde_json::from_str(payload).unwrap_or(Value::Null);
+    let resp = Response::Result {
+        id: id.to_string(),
+        client: client.to_string(),
+        result: value,
+    };
+    session.served += 1;
+    let t = session.tally(client);
+    t.completed += 1;
+    t.latencies_ms
+        .push(accepted_at.elapsed().as_secs_f64() * 1_000.0);
+    if let Err(e) = session.respond(Some(id), &resp) {
+        eprintln!("[soe-serve] emitting result for req/{id}: {e}");
+    }
+}
+
+/// Processes one input line. Returns `true` when the line was a
+/// shutdown request.
+fn handle_line(
+    session: &mut Session<'_>,
+    queue: &mut FairQueue<PendingReq>,
+    cfg: &ServeConfig,
+    dispatched: u64,
+    raw: &str,
+) -> std::io::Result<bool> {
+    let line = raw.trim();
+    if line.is_empty() {
+        return Ok(false);
+    }
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err(rej) => {
+            session.rejected += 1;
+            // Lines whose client field cannot be recovered are tallied
+            // under a reserved name so the report's totals still match
+            // the drain line. Real clients are validated tokens and can
+            // never collide with a parenthesized name.
+            let who = if rej.client.is_empty() {
+                "(unattributed)"
+            } else {
+                rej.client.as_str()
+            };
+            let t = session.tally(who);
+            t.submitted += 1;
+            t.rejected += 1;
+            let resp = Response::Error {
+                id: rej.id,
+                client: rej.client,
+                code: rej.error.code().to_string(),
+                message: rej.error.to_string(),
+            };
+            session.respond(None, &resp)?;
+            return Ok(false);
+        }
+    };
+    if req.control == "shutdown" {
+        if session.progress {
+            eprintln!("[soe-serve] shutdown requested by {}", req.client);
+        }
+        return Ok(true);
+    }
+    session.tally(&req.client).submitted += 1;
+    // Injected request-drop fault: the request vanishes before
+    // acceptance, as if the connection died mid-line. Recorded in the
+    // manifest so chaos runs can assert on it.
+    if let Some(plan) = cfg.faults {
+        if plan.decide_drop(&format!("req/{}", req.id)) {
+            session.dropped += 1;
+            session.tally(&req.client).dropped += 1;
+            session.manifest.skipped.push(SkippedRun {
+                key: format!("req/{}", req.id),
+                reason: "injected fault: drop (request lost before acceptance)".to_string(),
+            });
+            return Ok(false);
+        }
+    }
+    if session.seen.contains(&req.id) {
+        session.rejected += 1;
+        session.tally(&req.client).rejected += 1;
+        let resp = Response::Error {
+            id: req.id.clone(),
+            client: req.client.clone(),
+            code: "duplicate".to_string(),
+            message: format!("request id {:?} was already accepted", req.id),
+        };
+        session.respond(None, &resp)?;
+        return Ok(false);
+    }
+    let Some(scenario) = req.scenario.clone() else {
+        // Unreachable after check(); answer defensively rather than
+        // crash.
+        session.rejected += 1;
+        session.tally(&req.client).rejected += 1;
+        let resp = Response::Error {
+            id: req.id.clone(),
+            client: req.client.clone(),
+            code: "internal".to_string(),
+            message: "request accepted without a scenario".to_string(),
+        };
+        session.respond(None, &resp)?;
+        return Ok(false);
+    };
+    // Backpressure before acceptance: a shed request is never journaled.
+    if let Some(shed) = queue.would_shed(&req.client) {
+        session.shed += 1;
+        session.tally(&req.client).shed += 1;
+        let resp = Response::Shed {
+            id: req.id.clone(),
+            client: req.client.clone(),
+            depth: shed.depth as u64,
+            capacity: shed.capacity as u64,
+        };
+        session.respond(None, &resp)?;
+        return Ok(false);
+    }
+    // Acceptance: journal first (durability), then queue. A journal
+    // failure refuses the request — accepting without a durable record
+    // would break exactly-once on restart.
+    let canonical = serde_json::to_string(&req).unwrap_or_default();
+    if let Some(j) = session.journal.as_mut() {
+        if let Err(e) = j.append(&format!("req/{}", req.id), &canonical) {
+            session.rejected += 1;
+            session.tally(&req.client).rejected += 1;
+            let resp = Response::Error {
+                id: req.id.clone(),
+                client: req.client.clone(),
+                code: "journal".to_string(),
+                message: format!("could not journal acceptance: {e}"),
+            };
+            session.respond(None, &resp)?;
+            return Ok(false);
+        }
+    }
+    session.seen.insert(req.id.clone());
+    session.tally(&req.client).accepted += 1;
+    let client = req.client.clone();
+    let cost = scenario.cost();
+    // soe-lint: allow(wall-clock): host wall-time for SLO latency reporting, never simulated state
+    let accepted_at = Instant::now();
+    let pending = PendingReq {
+        req,
+        scenario,
+        accepted_at,
+        arrival_dispatched: dispatched,
+    };
+    if let Err(shed) = queue.push(&client, cost, pending) {
+        // would_shed() was clear a moment ago and the loop is
+        // single-threaded, so this is unreachable; refuse gracefully
+        // anyway.
+        session.shed += 1;
+        let t = session.tally(&client);
+        t.accepted = t.accepted.saturating_sub(1);
+        t.shed += 1;
+        let resp = Response::Shed {
+            id: String::new(),
+            client,
+            depth: shed.depth as u64,
+            capacity: shed.capacity as u64,
+        };
+        session.respond(None, &resp)?;
+    }
+    Ok(false)
+}
+
+/// The sizing and mechanism parameters for one scenario: `quick()`
+/// parameters with the requested window sizes, and the cycle quota
+/// scaled down so `quota × threads ≤ Δ` holds for any roster size.
+fn scenario_run_config(sc: &Scenario) -> Result<RunConfig, String> {
+    if !sc.f.is_finite() || !(0.0..=1.0).contains(&sc.f) {
+        return Err(format!("fairness target out of range: {}", sc.f));
+    }
+    let threads = sc.roster.len().max(1) as u64;
+    let mut cfg = RunConfig::quick();
+    cfg.warmup_cycles = sc.warmup_cycles;
+    cfg.measure_cycles = sc.measure_cycles;
+    cfg.fairness.target = FairnessLevel::new(sc.f);
+    let per_thread = (cfg.fairness.delta / threads).max(1);
+    cfg.fairness.max_cycles_quota = cfg.fairness.max_cycles_quota.min(per_thread);
+    cfg.fairness.min_quota_cycles = cfg
+        .fairness
+        .min_quota_cycles
+        .min(cfg.fairness.max_cycles_quota);
+    Ok(cfg)
+}
+
+/// Runs one validated scenario to its deterministic JSON payload.
+///
+/// # Errors
+///
+/// A human-readable message (malformed roster, inconsistent mechanism
+/// parameters, or a structured `SimError` from the run) — the
+/// supervisor retries and ultimately quarantines on `Err`.
+pub fn run_scenario(sc: &Scenario) -> Result<String, String> {
+    let names: Vec<&str> = sc.roster.iter().map(String::as_str).collect();
+    for name in &names {
+        if soe_workloads::spec::profile(name).is_none() {
+            return Err(format!("unknown benchmark {name:?}"));
+        }
+    }
+    if names.len() < 2 {
+        return Err(format!(
+            "roster needs at least 2 threads, got {}",
+            names.len()
+        ));
+    }
+    let cfg = scenario_run_config(sc)?;
+    // Single-thread references: one per distinct benchmark, measured on
+    // the same trace (profile + base + offset) the group run schedules.
+    let traces = soe_workloads::pairs::group_traces(&names);
+    let mut singles_by: BTreeMap<&str, SingleRun> = BTreeMap::new();
+    for (name, trace) in names.iter().zip(traces) {
+        if singles_by.contains_key(name) {
+            continue;
+        }
+        let run = try_run_single(Box::new(trace), &cfg).map_err(|e| e.to_string())?;
+        singles_by.insert(name, run);
+    }
+    let singles: Vec<SingleRun> = names
+        .iter()
+        .filter_map(|n| singles_by.get(n).cloned())
+        .collect();
+    let (policy, target): (Box<dyn SwitchPolicy>, Option<FairnessLevel>) = match sc.policy.as_str()
+    {
+        "timeslice" => {
+            if sc.timeslice_cycles == 0 {
+                return Err("timeslice policy needs a nonzero cycle quota".to_string());
+            }
+            (Box::new(TimeSlicePolicy::new(sc.timeslice_cycles)), None)
+        }
+        "fairness" => {
+            cfg.fairness.check(names.len()).map_err(|e| e.0)?;
+            (
+                Box::new(FairnessPolicy::new(names.len(), cfg.fairness)),
+                Some(cfg.fairness.target),
+            )
+        }
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+    let run = try_run_multi_with_policy(&names, policy, target, &singles, &cfg)
+        .map_err(|e| e.to_string())?;
+    let result = ScenarioResult { singles, run };
+    serde_json::to_string(&result).map_err(|e| e.to_string())
+}
+
+/// The memoization key for a scenario: roster in clear (debuggable
+/// cache directories) plus a digest of the canonical scenario JSON and
+/// every thread's checkpoint identity — so a change to a profile's
+/// parameters, the address-space layout, *or* any request knob
+/// invalidates stale entries.
+pub fn memo_key(sc: &Scenario) -> String {
+    let names: Vec<&str> = sc.roster.iter().map(String::as_str).collect();
+    let mut ident = serde_json::to_string(sc).unwrap_or_default();
+    for trace in soe_workloads::pairs::group_traces(&names) {
+        ident.push('|');
+        ident.push_str(&Checkpoint::capture(&trace, 0).memo_key());
+    }
+    format!("{}-{:016x}", sc.roster.join("+"), fnv1a64(ident.as_bytes()))
+}

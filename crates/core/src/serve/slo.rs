@@ -1,0 +1,262 @@
+//! The `soe-serve-slo/1` report: per-client service levels and the
+//! cross-client fairness index.
+//!
+//! # Schema (`soe-serve-slo/1`)
+//!
+//! ```json
+//! {
+//!   "schema": "soe-serve-slo/1",
+//!   "discipline": "drr",                 // queue discipline served under
+//!   "wall_ms": 1234,                     // session wall-clock
+//!   "throughput_rps": 8.1,               // served / wall seconds
+//!   "served": 10, "replayed": 0, "shed": 2, "rejected": 1,
+//!   "dropped": 0, "quarantined": 0,
+//!   "jain_fairness": 0.97,               // Jain index over per-client completions
+//!   "clients": [ { per-client block, see ClientSlo } ]
+//! }
+//! ```
+//!
+//! Latencies are host wall-clock (accept → response written) and so
+//! vary run to run; everything else is deterministic for a given input
+//! and discipline. `queue_wait` is measured in *dispatches*: how many
+//! other requests were dispatched between this request's acceptance and
+//! its own dispatch — a scheduler-quality metric that is immune to host
+//! speed, and the one the fairness tests bound.
+
+use serde::{Deserialize, Serialize};
+
+/// Jain's fairness index over non-negative allocations:
+/// `(Σx)² / (n · Σx²)`, 1.0 for perfectly equal shares, → `1/n` as one
+/// party takes everything. Empty or all-zero inputs score 1.0 (nothing
+/// was allocated unfairly).
+pub fn jain(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if xs.is_empty() || sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n * sq)
+}
+
+/// Nearest-rank percentile of an unsorted sample (p in `[0, 100]`);
+/// 0.0 for an empty sample.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    let index = rank.clamp(1, sorted.len()) - 1;
+    sorted.get(index).copied().unwrap_or(0.0)
+}
+
+/// Running per-client accounting, accumulated by the service loop.
+#[derive(Debug, Clone, Default)]
+pub struct ClientTally {
+    /// Well-formed lines naming this client.
+    pub submitted: u64,
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests rejected by validation.
+    pub rejected: u64,
+    /// Requests refused with backpressure.
+    pub shed: u64,
+    /// Requests dropped by injected faults.
+    pub dropped: u64,
+    /// Results computed and emitted this session.
+    pub completed: u64,
+    /// Requests quarantined after exhausting retries.
+    pub quarantined: u64,
+    /// Results re-emitted verbatim from the journal.
+    pub replayed: u64,
+    /// Accept → response-written wall latencies, milliseconds.
+    pub latencies_ms: Vec<f64>,
+    /// Dispatches of *other* requests between accept and own dispatch.
+    pub queue_waits: Vec<f64>,
+}
+
+/// One client's block in the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientSlo {
+    /// The client.
+    pub client: String,
+    /// Well-formed lines naming this client.
+    pub submitted: u64,
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests rejected by validation.
+    pub rejected: u64,
+    /// Requests refused with backpressure.
+    pub shed: u64,
+    /// Requests dropped by injected faults.
+    pub dropped: u64,
+    /// Results computed and emitted this session.
+    pub completed: u64,
+    /// Requests quarantined after exhausting retries.
+    pub quarantined: u64,
+    /// Results re-emitted verbatim from the journal.
+    pub replayed: u64,
+    /// Median accept → response latency, milliseconds (wall-clock).
+    pub p50_latency_ms: f64,
+    /// 99th-percentile latency, milliseconds (wall-clock).
+    pub p99_latency_ms: f64,
+    /// Median queue wait, in other-request dispatches.
+    pub p50_queue_wait: f64,
+    /// 99th-percentile queue wait, in other-request dispatches.
+    pub p99_queue_wait: f64,
+}
+
+/// The full report (see the module docs for the schema).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Schema identifier: `"soe-serve-slo/1"`.
+    pub schema: String,
+    /// Queue discipline the session ran under (`"drr"` / `"fifo"`).
+    pub discipline: String,
+    /// Session wall-clock, milliseconds.
+    pub wall_ms: u64,
+    /// Results per wall second (served + replayed).
+    pub throughput_rps: f64,
+    /// Results computed and emitted this session.
+    pub served: u64,
+    /// Results re-emitted verbatim from the journal.
+    pub replayed: u64,
+    /// Requests refused with backpressure.
+    pub shed: u64,
+    /// Requests rejected by validation.
+    pub rejected: u64,
+    /// Requests dropped by injected faults.
+    pub dropped: u64,
+    /// Requests quarantined after exhausting retries.
+    pub quarantined: u64,
+    /// Jain index over per-client completed counts.
+    pub jain_fairness: f64,
+    /// Per-client blocks, sorted by client name.
+    pub clients: Vec<ClientSlo>,
+}
+
+/// The schema identifier written into every report.
+pub const SLO_SCHEMA: &str = "soe-serve-slo/1";
+
+impl SloReport {
+    /// Builds the report from the service loop's accounting.
+    pub fn build(
+        discipline: &str,
+        wall_ms: u64,
+        tallies: &std::collections::BTreeMap<String, ClientTally>,
+    ) -> Self {
+        let clients: Vec<ClientSlo> = tallies
+            .iter()
+            .map(|(client, t)| ClientSlo {
+                client: client.clone(),
+                submitted: t.submitted,
+                accepted: t.accepted,
+                rejected: t.rejected,
+                shed: t.shed,
+                dropped: t.dropped,
+                completed: t.completed,
+                quarantined: t.quarantined,
+                replayed: t.replayed,
+                p50_latency_ms: percentile(&t.latencies_ms, 50.0),
+                p99_latency_ms: percentile(&t.latencies_ms, 99.0),
+                p50_queue_wait: percentile(&t.queue_waits, 50.0),
+                p99_queue_wait: percentile(&t.queue_waits, 99.0),
+            })
+            .collect();
+        let served: u64 = clients.iter().map(|c| c.completed).sum();
+        let replayed: u64 = clients.iter().map(|c| c.replayed).sum();
+        let completions: Vec<f64> = clients
+            .iter()
+            .filter(|c| c.accepted + c.shed > 0)
+            .map(|c| c.completed as f64)
+            .collect();
+        Self {
+            schema: SLO_SCHEMA.to_string(),
+            discipline: discipline.to_string(),
+            wall_ms,
+            throughput_rps: if wall_ms == 0 {
+                0.0
+            } else {
+                (served + replayed) as f64 / (wall_ms as f64 / 1_000.0)
+            },
+            served,
+            replayed,
+            shed: clients.iter().map(|c| c.shed).sum(),
+            rejected: clients.iter().map(|c| c.rejected).sum(),
+            dropped: clients.iter().map(|c| c.dropped).sum(),
+            quarantined: clients.iter().map(|c| c.quarantined).sum(),
+            jain_fairness: jain(&completions),
+            clients,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn jain_brackets() {
+        assert_eq!(jain(&[]), 1.0);
+        assert_eq!(jain(&[0.0, 0.0]), 1.0);
+        assert!((jain(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One hog taking everything: index → 1/n.
+        let skewed = jain(&[30.0, 0.0, 0.0]);
+        assert!((skewed - 1.0 / 3.0).abs() < 1e-12, "{skewed}");
+        // The fairness-test shape: FIFO lets the hog complete 60 while
+        // three polite clients complete 6 each — visibly unfair.
+        assert!(jain(&[60.0, 6.0, 6.0, 6.0]) < 0.45);
+        assert!(jain(&[8.0, 6.0, 6.0, 6.0]) > 0.95);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn report_round_trips_and_aggregates() {
+        let mut tallies: BTreeMap<String, ClientTally> = BTreeMap::new();
+        let mut hog = ClientTally {
+            submitted: 10,
+            accepted: 4,
+            shed: 6,
+            completed: 4,
+            ..ClientTally::default()
+        };
+        hog.latencies_ms = vec![5.0, 6.0, 7.0, 8.0];
+        hog.queue_waits = vec![0.0, 1.0, 1.0, 2.0];
+        tallies.insert("hog".to_string(), hog);
+        tallies.insert(
+            "polite".to_string(),
+            ClientTally {
+                submitted: 4,
+                accepted: 4,
+                completed: 4,
+                latencies_ms: vec![5.0; 4],
+                queue_waits: vec![1.0; 4],
+                ..ClientTally::default()
+            },
+        );
+        let report = SloReport::build("drr", 2_000, &tallies);
+        assert_eq!(report.schema, SLO_SCHEMA);
+        assert_eq!(report.served, 8);
+        assert_eq!(report.shed, 6);
+        assert!((report.throughput_rps - 4.0).abs() < 1e-12);
+        assert!(
+            (report.jain_fairness - 1.0).abs() < 1e-12,
+            "equal completions"
+        );
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: SloReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -74,12 +74,45 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         file.write_all(bytes)?;
         file.sync_all()?;
         drop(file);
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        // The rename is only durable once the *directory entry* is on
+        // disk: after a power loss an unsynced rename can silently
+        // revert, losing a journal or manifest the caller believed
+        // written. Sync the parent directory too.
+        sync_parent_dir(path)
     })();
     if result.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
     result.map_err(|e| std::io::Error::new(e.kind(), format!("writing {}: {e}", path.display())))
+}
+
+/// Fsyncs the directory containing `path`, making a just-renamed entry
+/// durable. Errors are tagged with the directory path. On non-Unix hosts
+/// a directory cannot be opened for syncing; the call is a no-op there.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+        let dir = parent.unwrap_or_else(|| Path::new("."));
+        let handle = std::fs::File::open(dir).map_err(|e| {
+            std::io::Error::new(
+                e.kind(),
+                format!("opening directory {} for fsync: {e}", dir.display()),
+            )
+        })?;
+        handle.sync_all().map_err(|e| {
+            std::io::Error::new(
+                e.kind(),
+                format!("fsyncing directory {}: {e}", dir.display()),
+            )
+        })?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -125,6 +158,8 @@ pub struct Journal {
     entries: BTreeMap<String, String>,
     order: Vec<String>,
     recovery: JournalRecovery,
+    /// Armed injected write failures (the `io:P` fault class).
+    faults: Option<FaultPlan>,
 }
 
 impl Journal {
@@ -191,6 +226,7 @@ impl Journal {
             entries,
             order,
             recovery,
+            faults: None,
         })
     }
 
@@ -233,13 +269,38 @@ impl Journal {
         self.entries.get(key).map(String::as_str)
     }
 
+    /// Iterates `(key, payload)` records in first-append order — the
+    /// order a resuming service must replay them in.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> + '_ {
+        self.order
+            .iter()
+            .filter_map(|k| self.entries.get(k).map(|p| (k.as_str(), p.as_str())))
+    }
+
+    /// Arms deterministic injected write failures (the `io:P` class of
+    /// the [`FaultPlan`] grammar): each append attempt draws from the
+    /// plan and, on a hit, fails before touching the file. Appends retry
+    /// up to [`Journal::APPEND_ATTEMPTS`] times, so only a persistent
+    /// injected fault (or a real I/O error) surfaces to the caller.
+    pub fn set_faults(&mut self, faults: Option<FaultPlan>) {
+        self.faults = faults;
+    }
+
+    /// Write attempts per [`Journal::append`] before the error surfaces.
+    pub const APPEND_ATTEMPTS: u32 = 3;
+
     /// Appends (or overwrites) a record durably: the line is written in
-    /// one `write_all`, flushed, and synced before this returns.
+    /// one `write_all`, flushed, and synced before this returns. Write
+    /// failures — real or injected via [`Journal::set_faults`] — are
+    /// retried up to [`Journal::APPEND_ATTEMPTS`] times. A torn partial
+    /// line left by a failed attempt is dropped by the next
+    /// [`Journal::open`] recovery; the retried full line supersedes it.
     ///
     /// # Errors
     ///
-    /// Any I/O error from the append; also if `key` contains a space or
-    /// either part contains a newline (which would tear the line format).
+    /// The last error once every attempt failed; also if `key` contains
+    /// a space or either part contains a newline (which would tear the
+    /// line format).
     pub fn append(&mut self, key: &str, payload: &str) -> std::io::Result<()> {
         if key.is_empty() || key.contains(' ') || key.contains('\n') {
             return Err(std::io::Error::new(
@@ -255,17 +316,38 @@ impl Journal {
         }
         let mut line = Vec::new();
         Self::encode_line(&mut line, key, payload);
-        self.file.write_all(&line)?;
-        self.file.flush()?;
-        self.file.sync_data()?;
-        if self
-            .entries
-            .insert(key.to_string(), payload.to_string())
-            .is_none()
-        {
-            self.order.push(key.to_string());
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 1..=Self::APPEND_ATTEMPTS {
+            if let Some(plan) = self.faults {
+                if plan.decide_io(key, attempt) {
+                    last_err = Some(std::io::Error::other(format!(
+                        "injected fault: io (journal append {key}, attempt {attempt})"
+                    )));
+                    continue;
+                }
+            }
+            match self.write_line(&line) {
+                Ok(()) => {
+                    if self
+                        .entries
+                        .insert(key.to_string(), payload.to_string())
+                        .is_none()
+                    {
+                        self.order.push(key.to_string());
+                    }
+                    return Ok(());
+                }
+                Err(e) => last_err = Some(e),
+            }
         }
-        Ok(())
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("journal append failed")))
+    }
+
+    /// One durable write attempt of an encoded line.
+    fn write_line(&mut self, line: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(line)?;
+        self.file.flush()?;
+        self.file.sync_data()
     }
 
     /// Truncates the journal to empty (a fresh, non-resumed matrix).
@@ -309,10 +391,27 @@ pub enum Fault {
 /// reproducible and a retry of the same job may deterministically
 /// succeed.
 ///
-/// Spec format (the `SOE_FAULTS` environment variable):
-/// `panic:0.05,stall:0.02,stall_ms:4000@seed` — panic probability, stall
-/// probability, stall duration in milliseconds (default 2000), and the
-/// seed after `@` (default 0).
+/// # The `SOE_FAULTS` grammar (the single source of truth)
+///
+/// ```text
+/// SOE_FAULTS = class ("," class)* ("@" seed)?
+/// class      = "panic:P"     probability an attempt panics
+///            | "stall:P"     probability an attempt sleeps `stall_ms`
+///                            (long enough to trip the watchdog)
+///            | "stall_ms:N"  stall duration in ms (default 2000)
+///            | "io:P"        probability a journal write attempt fails
+///                            (appends retry; see `Journal::set_faults`)
+///            | "drop:P"      probability the service layer loses an
+///                            incoming request before accepting it
+///            | "slow:P"      probability an attempt is delayed `slow_ms`
+///                            (latency, not a hang)
+///            | "slow_ms:N"   slow-worker delay in ms (default 250)
+/// ```
+///
+/// Probabilities are in `[0, 1]`; the seed (default 0) is mixed into
+/// every decision. Example: `panic:0.05,io:0.2,slow:0.1,slow_ms:50@7`.
+/// The matrix engine exercises `panic`/`stall`/`io`; `drop` and `slow`
+/// are consumed by the `serve` service layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
     /// Probability an attempt panics.
@@ -321,12 +420,35 @@ pub struct FaultPlan {
     pub stall_prob: f64,
     /// How long a stalled attempt sleeps.
     pub stall: Duration,
+    /// Probability a journal write attempt fails (`io:P`).
+    pub io_prob: f64,
+    /// Probability an incoming service request is dropped (`drop:P`).
+    pub drop_prob: f64,
+    /// Probability an attempt is delayed by [`FaultPlan::slow`]
+    /// (`slow:P`).
+    pub slow_prob: f64,
+    /// How long a slow attempt is delayed.
+    pub slow: Duration,
     /// Seed mixed into every decision.
     pub seed: u64,
 }
 
 impl FaultPlan {
-    /// Parses a `panic:P,stall:P[,stall_ms:N][@seed]` spec.
+    /// A plan with every fault class off (probability 0) at `seed`.
+    pub fn none(seed: u64) -> Self {
+        Self {
+            panic_prob: 0.0,
+            stall_prob: 0.0,
+            stall: Duration::from_millis(2_000),
+            io_prob: 0.0,
+            drop_prob: 0.0,
+            slow_prob: 0.0,
+            slow: Duration::from_millis(250),
+            seed,
+        }
+    }
+
+    /// Parses a spec in the grammar documented on [`FaultPlan`].
     ///
     /// # Errors
     ///
@@ -341,11 +463,12 @@ impl FaultPlan {
             ),
             None => (spec, 0),
         };
-        let mut plan = Self {
-            panic_prob: 0.0,
-            stall_prob: 0.0,
-            stall: Duration::from_millis(2_000),
-            seed,
+        let mut plan = Self::none(seed);
+        let parse_ms = |name: &str, value: &str| {
+            value
+                .parse::<u64>()
+                .map(Duration::from_millis)
+                .map_err(|_| format!("SOE_FAULTS: bad {name} {value:?}"))
         };
         for entry in body.split(',').filter(|e| !e.trim().is_empty()) {
             let (name, value) = entry
@@ -355,13 +478,11 @@ impl FaultPlan {
             match name.trim() {
                 "panic" => plan.panic_prob = parse_prob(value)?,
                 "stall" => plan.stall_prob = parse_prob(value)?,
-                "stall_ms" => {
-                    plan.stall = Duration::from_millis(
-                        value
-                            .parse::<u64>()
-                            .map_err(|_| format!("SOE_FAULTS: bad stall_ms {value:?}"))?,
-                    );
-                }
+                "stall_ms" => plan.stall = parse_ms("stall_ms", value)?,
+                "io" => plan.io_prob = parse_prob(value)?,
+                "drop" => plan.drop_prob = parse_prob(value)?,
+                "slow" => plan.slow_prob = parse_prob(value)?,
+                "slow_ms" => plan.slow = parse_ms("slow_ms", value)?,
                 other => return Err(format!("SOE_FAULTS: unknown fault kind {other:?}")),
             }
         }
@@ -382,27 +503,46 @@ impl FaultPlan {
         }
     }
 
-    /// The deterministic fault decision for `key` at `attempt`.
+    /// One deterministic uniform draw in `[0, 1)` for `(key, attempt,
+    /// salt)`. Salts keep the fault classes' draws independent.
+    fn draw(&self, key: &str, attempt: u32, salt: u64) -> f64 {
+        let mut h = fnv1a64(key.as_bytes());
+        for chunk in [self.seed, u64::from(attempt), salt] {
+            h ^= splitmix64(chunk.wrapping_add(h));
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // 53 high-quality bits -> [0, 1).
+        (splitmix64(h) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The deterministic panic/stall decision for `key` at `attempt`.
     pub fn decide(&self, key: &str, attempt: u32) -> Fault {
         if self.panic_prob <= 0.0 && self.stall_prob <= 0.0 {
             return Fault::None;
         }
-        let draw = |salt: u64| -> f64 {
-            let mut h = fnv1a64(key.as_bytes());
-            for chunk in [self.seed, u64::from(attempt), salt] {
-                h ^= splitmix64(chunk.wrapping_add(h));
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-            // 53 high-quality bits -> [0, 1).
-            (splitmix64(h) >> 11) as f64 / (1u64 << 53) as f64
-        };
-        if draw(1) < self.panic_prob {
+        if self.draw(key, attempt, 1) < self.panic_prob {
             Fault::Panic
-        } else if draw(2) < self.stall_prob {
+        } else if self.draw(key, attempt, 2) < self.stall_prob {
             Fault::Stall(self.stall)
         } else {
             Fault::None
         }
+    }
+
+    /// Whether the journal write for `key` at `attempt` fails (`io:P`).
+    pub fn decide_io(&self, key: &str, attempt: u32) -> bool {
+        self.io_prob > 0.0 && self.draw(key, attempt, 3) < self.io_prob
+    }
+
+    /// Whether the incoming request `key` is lost before acceptance
+    /// (`drop:P`). Drops have no retry, so no attempt number.
+    pub fn decide_drop(&self, key: &str) -> bool {
+        self.drop_prob > 0.0 && self.draw(key, 1, 4) < self.drop_prob
+    }
+
+    /// The slow-worker delay for `key` at `attempt`, if drawn (`slow:P`).
+    pub fn decide_slow(&self, key: &str, attempt: u32) -> Option<Duration> {
+        (self.slow_prob > 0.0 && self.draw(key, attempt, 5) < self.slow_prob).then_some(self.slow)
     }
 }
 
@@ -520,6 +660,38 @@ impl std::fmt::Display for Quarantined {
                 l.kind, l.message
             ))
         )
+    }
+}
+
+/// A run excluded from a batch without being attempted, because
+/// something it depends on was quarantined (or the service layer
+/// deterministically dropped it under fault injection).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkippedRun {
+    /// The run's journal key (`pair/gcc:eon/F=1/2`, `req/c1-0004`).
+    pub key: String,
+    /// Why it could not run.
+    pub reason: String,
+}
+
+/// Everything that kept a batch from completing: runs whose every
+/// attempt failed, and runs skipped because a dependency failed.
+/// Serialized next to the results so a partial batch is an explicit,
+/// inspectable state rather than a silent one. Shared by the experiment
+/// matrix (`soe-bench`) and the capacity-planning service
+/// ([`serve`](crate::serve)).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FailureManifest {
+    /// Runs quarantined after exhausting their retry budget.
+    pub quarantined: Vec<Quarantined>,
+    /// Runs never attempted (e.g. their single-thread reference failed).
+    pub skipped: Vec<SkippedRun>,
+}
+
+impl FailureManifest {
+    /// Whether the batch completed with nothing missing.
+    pub fn is_empty(&self) -> bool {
+        self.quarantined.is_empty() && self.skipped.is_empty()
     }
 }
 
@@ -689,6 +861,41 @@ where
 {
     // soe-lint: allow(slice-index): supervise_jobs only passes indexes below jobs.len()
     let label = jobs[index].label.clone();
+    let jobs = Arc::clone(jobs);
+    let f = Arc::clone(f);
+    supervise_call(
+        &label,
+        index,
+        opts,
+        // soe-lint: allow(slice-index): supervise_jobs only passes indexes below jobs.len()
+        Arc::new(move || f(&jobs[index].payload)),
+    )
+}
+
+/// Runs one supervised call to completion or quarantine: every attempt
+/// on its own detached thread bounded by the watchdog timeout, with
+/// exponential backoff between attempts and deterministic fault
+/// injection keyed by `label`. The building block behind
+/// [`supervise_jobs`], used directly by the [`serve`](crate::serve)
+/// service layer for per-request supervision.
+///
+/// `index` only labels the resulting [`Quarantined`] record (submission
+/// index in a batch, request sequence number in a service).
+///
+/// # Errors
+///
+/// [`Quarantined`] with the full per-attempt failure history once the
+/// retry budget is exhausted.
+pub fn supervise_call<R, F>(
+    label: &str,
+    index: usize,
+    opts: &SuperviseOptions,
+    f: Arc<F>,
+) -> Result<R, Quarantined>
+where
+    R: Send + 'static,
+    F: Fn() -> Result<R, String> + Send + Sync + 'static,
+{
     let mut failures: Vec<JobFailure> = Vec::new();
     for attempt in 1..=opts.retries.saturating_add(1) {
         if attempt > 1 {
@@ -698,11 +905,13 @@ where
         }
         let fault = opts
             .faults
-            .map_or(Fault::None, |plan| plan.decide(&label, attempt));
+            .map_or(Fault::None, |plan| plan.decide(label, attempt));
+        let slow = opts
+            .faults
+            .and_then(|plan| plan.decide_slow(label, attempt));
         let (tx, rx) = mpsc::channel::<Result<R, JobFailure>>();
         {
-            let jobs = Arc::clone(jobs);
-            let f = Arc::clone(f);
+            let f = Arc::clone(&f);
             std::thread::spawn(move || {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     match fault {
@@ -711,8 +920,11 @@ where
                         Fault::Panic => panic!("injected fault: panic (attempt {attempt})"),
                         Fault::Stall(d) => std::thread::sleep(d),
                     }
-                    // soe-lint: allow(slice-index): supervise_jobs only passes indexes below jobs.len()
-                    f(&jobs[index].payload)
+                    if let Some(d) = slow {
+                        // Slow-worker fault: added latency, not a hang.
+                        std::thread::sleep(d);
+                    }
+                    f()
                 }));
                 let _ = tx.send(match outcome {
                     Ok(Ok(r)) => Ok(r),
@@ -750,7 +962,7 @@ where
     }
     Err(Quarantined {
         index,
-        label,
+        label: label.to_string(),
         failures,
     })
 }
@@ -879,6 +1091,84 @@ mod tests {
         assert!(FaultPlan::parse("panic").is_err());
         assert!(FaultPlan::parse("explode:0.5").is_err());
         assert!(FaultPlan::parse("panic:0.5@notanumber").is_err());
+        assert!(FaultPlan::parse("io:2.0").is_err());
+        assert!(FaultPlan::parse("slow_ms:abc").is_err());
+    }
+
+    #[test]
+    fn fault_plan_parses_service_layer_classes() {
+        let plan = FaultPlan::parse("panic:0.1,io:0.5,drop:0.2,slow:0.3,slow_ms:77@5").unwrap();
+        assert_eq!(plan.io_prob, 0.5);
+        assert_eq!(plan.drop_prob, 0.2);
+        assert_eq!(plan.slow_prob, 0.3);
+        assert_eq!(plan.slow, Duration::from_millis(77));
+        // Decisions are deterministic and independent per class.
+        for key in ["req/a", "req/b"] {
+            assert_eq!(plan.decide_io(key, 1), plan.decide_io(key, 1));
+            assert_eq!(plan.decide_drop(key), plan.decide_drop(key));
+            assert_eq!(plan.decide_slow(key, 1), plan.decide_slow(key, 1));
+        }
+        let always = FaultPlan::parse("io:1.0,drop:1.0,slow:1.0,slow_ms:9").unwrap();
+        assert!(always.decide_io("k", 1));
+        assert!(always.decide_drop("k"));
+        assert_eq!(always.decide_slow("k", 1), Some(Duration::from_millis(9)));
+        let never = FaultPlan::none(3);
+        assert!(!never.decide_io("k", 1));
+        assert!(!never.decide_drop("k"));
+        assert_eq!(never.decide_slow("k", 1), None);
+    }
+
+    #[test]
+    fn journal_append_retries_through_injected_io_faults() {
+        let plan = FaultPlan::parse("io:0.5@11").unwrap();
+        // Find a key whose first append attempt is injected to fail but
+        // whose retry succeeds — pure plan logic, no seed hunting.
+        let key = (0..10_000)
+            .map(|i| format!("k{i}"))
+            .find(|k| plan.decide_io(k, 1) && !plan.decide_io(k, 2))
+            .expect("a transient-io key exists in 10k draws");
+        let path = tmp("iofault");
+        let mut j = Journal::open(&path).unwrap();
+        j.set_faults(Some(plan));
+        j.append(&key, "survived").unwrap();
+        drop(j);
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.get(&key), Some("survived"));
+    }
+
+    #[test]
+    fn journal_append_surfaces_persistent_io_faults() {
+        let path = tmp("iofault-hard");
+        let mut j = Journal::open(&path).unwrap();
+        j.set_faults(Some(FaultPlan::parse("io:1.0@1").unwrap()));
+        let err = j.append("doomed", "x").unwrap_err();
+        assert!(err.to_string().contains("injected fault: io"), "{err}");
+        // The record must not be visible in memory either.
+        assert_eq!(j.get("doomed"), None);
+        // Disarming restores normal appends.
+        j.set_faults(None);
+        j.append("doomed", "y").unwrap();
+        assert_eq!(j.get("doomed"), Some("y"));
+    }
+
+    #[test]
+    fn journal_iter_is_in_first_append_order() {
+        let path = tmp("iterorder");
+        let mut j = Journal::open(&path).unwrap();
+        j.append("b", "1").unwrap();
+        j.append("a", "2").unwrap();
+        j.append("b", "3").unwrap();
+        let got: Vec<(String, String)> = j
+            .iter()
+            .map(|(k, p)| (k.to_string(), p.to_string()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("b".to_string(), "3".to_string()),
+                ("a".to_string(), "2".to_string())
+            ]
+        );
     }
 
     #[test]

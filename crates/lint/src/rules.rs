@@ -154,6 +154,18 @@ pub fn all_rules() -> Vec<Rule> {
             scope: &[],
             check: check_config_fields_validated,
         },
+        Rule {
+            id: "request-fields-validated",
+            category: "hygiene",
+            severity: Severity::Error,
+            description: "every *Request/*Scenario struct in the service layer must \
+                          have a check() that mentions every field: request fields \
+                          cross a trust boundary and must be validated (or explicitly \
+                          acknowledged) before the scheduler consumes them",
+            applies_in_tests: true,
+            scope: &["crates/core/src/serve/"],
+            check: check_request_fields_validated,
+        },
     ]
 }
 
@@ -444,15 +456,16 @@ fn check_raw_fs_write(file: &SourceFile, rule: &Rule) -> Vec<Finding> {
     out
 }
 
-/// Collects `(struct_name, line, fields)` for every `struct *Config`.
-fn config_structs(tokens: &[Token]) -> Vec<(String, u32, Vec<String>)> {
+/// Collects `(struct_name, line, fields)` for every named struct whose
+/// name ends with one of `suffixes`.
+fn structs_with_suffix(tokens: &[Token], suffixes: &[&str]) -> Vec<(String, u32, Vec<String>)> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
         if tokens[i].is_ident("struct")
-            && tokens
-                .get(i + 1)
-                .is_some_and(|n| n.kind == TokenKind::Ident && n.text.ends_with("Config"))
+            && tokens.get(i + 1).is_some_and(|n| {
+                n.kind == TokenKind::Ident && suffixes.iter().any(|s| n.text.ends_with(s))
+            })
             && tokens.get(i + 2).is_some_and(|b| b.is_punct('{'))
         {
             let name = tokens[i + 1].text.clone();
@@ -551,34 +564,85 @@ fn check_fn_body(tokens: &[Token], name: &str) -> Option<(usize, usize)> {
 fn check_config_fields_validated(file: &SourceFile, rule: &Rule) -> Vec<Finding> {
     let tokens = &file.tokens;
     let mut out = Vec::new();
-    for (name, line, fields) in config_structs(tokens) {
+    for (name, line, fields) in structs_with_suffix(tokens, &["Config"]) {
         let Some((start, end)) = check_fn_body(tokens, &name) else {
             continue; // no check() — the struct opted out of validation
         };
-        let body = &tokens[start..end];
-        let missing: Vec<&String> = fields
-            .iter()
-            .filter(|f| {
-                !body
-                    .iter()
-                    .any(|t| t.kind == TokenKind::Ident && t.text == **f)
-            })
-            .collect();
-        if !missing.is_empty() {
-            let list: Vec<&str> = missing.iter().map(|s| s.as_str()).collect();
+        push_unmentioned_fields(
+            file,
+            rule,
+            &name,
+            line,
+            &fields,
+            &tokens[start..end],
+            &mut out,
+        );
+    }
+    out
+}
+
+fn check_request_fields_validated(file: &SourceFile, rule: &Rule) -> Vec<Finding> {
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    for (name, line, fields) in structs_with_suffix(tokens, &["Request", "Scenario"]) {
+        let Some((start, end)) = check_fn_body(tokens, &name) else {
+            // Unlike *Config, wire-facing types may NOT opt out:
+            // unvalidated request fields reach the scheduler.
             out.push(rule.finding(
                 file,
                 line,
-                format!(
-                    "{name}::check() never mentions field(s): {}",
-                    list.join(", ")
-                ),
-                "validate the field in check(), or acknowledge it there explicitly \
-                 (e.g. `let _ = (self.flag, …); // no invariant`)",
+                format!("{name} has no check() method"),
+                "requests cross a trust boundary: add a check() that validates \
+                 (or explicitly acknowledges) every field before the service \
+                 consumes it",
             ));
-        }
+            continue;
+        };
+        push_unmentioned_fields(
+            file,
+            rule,
+            &name,
+            line,
+            &fields,
+            &tokens[start..end],
+            &mut out,
+        );
     }
     out
+}
+
+/// Shared tail of the fields-validated rules: report every field of
+/// `name` that its check() body never mentions as an identifier.
+fn push_unmentioned_fields(
+    file: &SourceFile,
+    rule: &Rule,
+    name: &str,
+    line: u32,
+    fields: &[String],
+    body: &[Token],
+    out: &mut Vec<Finding>,
+) {
+    let missing: Vec<&str> = fields
+        .iter()
+        .filter(|f| {
+            !body
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text == **f)
+        })
+        .map(String::as_str)
+        .collect();
+    if !missing.is_empty() {
+        out.push(rule.finding(
+            file,
+            line,
+            format!(
+                "{name}::check() never mentions field(s): {}",
+                missing.join(", ")
+            ),
+            "validate the field in check(), or acknowledge it there explicitly \
+             (e.g. `let _ = (self.flag, …); // no invariant`)",
+        ));
+    }
 }
 
 #[cfg(test)]
@@ -812,6 +876,54 @@ mod tests {
                    impl Default for BazConfig { fn default() -> Self { Self { a: 1 } } }\n\
                    impl BazConfig { fn check(&self) -> bool { self.a > 0 } }";
         assert!(run_rule("config-fields-validated", "crates/sim/src/config.rs", src).is_empty());
+    }
+
+    #[test]
+    fn request_structs_must_have_a_check() {
+        // Unlike *Config, a service-layer *Request without check() is a
+        // finding — wire-facing fields may not opt out of validation.
+        let src = "struct PingRequest { id: String }\n\
+                   impl PingRequest { fn new() -> Self { todo!() } }";
+        let found = run_rule(
+            "request-fields-validated",
+            "crates/core/src/serve/proto.rs",
+            src,
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(
+            found[0].message.contains("no check() method"),
+            "{}",
+            found[0].message
+        );
+    }
+
+    #[test]
+    fn request_check_must_mention_every_field() {
+        let src = "struct RunScenario { roster: Vec<String>, f: f64, extra: u64 }\n\
+                   impl RunScenario {\n\
+                     fn check(&self) -> Result<(), E> { validate(&self.roster)?; bound(self.f) }\n\
+                   }";
+        let found = run_rule(
+            "request-fields-validated",
+            "crates/core/src/serve/proto.rs",
+            src,
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(
+            found[0].message.ends_with("field(s): extra"),
+            "{}",
+            found[0].message
+        );
+        let complete = "struct RunScenario { roster: Vec<String>, f: f64 }\n\
+                        impl RunScenario {\n\
+                          fn check(&self) -> Result<(), E> { validate(&self.roster)?; bound(self.f) }\n\
+                        }";
+        assert!(run_rule(
+            "request-fields-validated",
+            "crates/core/src/serve/proto.rs",
+            complete
+        )
+        .is_empty());
     }
 
     #[test]

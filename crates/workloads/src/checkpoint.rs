@@ -73,6 +73,34 @@ impl Checkpoint {
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(json)
     }
+
+    /// A stable, filesystem-safe memoization key for this checkpoint:
+    /// the profile name and stream coordinates in clear (for
+    /// debuggability of cache directories) plus an FNV-1a-64 digest of
+    /// the *full* canonical serialization, so editing any profile
+    /// parameter — not just renaming it — invalidates cache entries
+    /// derived from the old behaviour.
+    pub fn memo_key(&self) -> String {
+        let canonical = serde_json::to_string(self).unwrap_or_default();
+        format!(
+            "{}-p{}-b{:x}-{:016x}",
+            self.profile.name,
+            self.position,
+            self.base,
+            fnv1a64(canonical.as_bytes())
+        )
+    }
+}
+
+/// FNV-1a 64-bit — the same digest the supervision journal uses; tiny,
+/// dependency-free, and stable across platforms.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// The LIT "injectable external events" analogue: a periodic interrupt
@@ -166,6 +194,28 @@ mod tests {
     #[test]
     fn malformed_json_is_an_error() {
         assert!(Checkpoint::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn memo_key_is_stable_and_parameter_sensitive() {
+        let t = trace();
+        let a = Checkpoint::capture(&t, 500);
+        assert_eq!(a.memo_key(), Checkpoint::capture(&t, 500).memo_key());
+        assert_ne!(a.memo_key(), Checkpoint::capture(&t, 501).memo_key());
+        let mut tweaked = a.clone();
+        tweaked.profile.mem.cold_load_prob *= 1.5;
+        assert_ne!(
+            a.memo_key(),
+            tweaked.memo_key(),
+            "parameter change must invalidate"
+        );
+        assert!(
+            a.memo_key()
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'),
+            "filesystem-safe: {}",
+            a.memo_key()
+        );
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! `soe-loadgen` — deterministic traffic generation and SLO checking
+//! for `soe-serve`.
+//!
+//! `gen` emits an `soe-serve/v1` request stream on stdout that mixes
+//! polite clients, a hog (many requests per tick), malformed lines,
+//! oversized requests (validation rejects), and an optional mid-stream
+//! disconnect (`--truncate` cuts the final line mid-JSON). Everything
+//! is derived from `--seed`, so a given command line always produces
+//! the same bytes.
+//!
+//! `check` reads an `soe-serve-slo/1` report and enforces bounds —
+//! the CI chaos job's assertion tool:
+//!
+//! ```text
+//! soe-loadgen gen --polite 3 --hog 10 --ticks 2 | soe-serve --slo slo.json
+//! soe-loadgen check --slo slo.json --min-fairness 0.9 --require-shed
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use soe_repro::core::serve::{Scenario, SloReport, PROTOCOL};
+use soe_repro::workloads::spec;
+
+fn usage() -> &'static str {
+    "soe-loadgen — traffic generator / SLO checker for soe-serve\n\n\
+     usage:\n\
+     \x20 soe-loadgen gen [options]            # request stream on stdout\n\
+     \x20 soe-loadgen check --slo report.json [--min-fairness F] [--require-shed]\n\n\
+     gen options:\n\
+     \x20 --polite N       polite clients c0..c{N-1} (default 3)\n\
+     \x20 --per-client K   requests per polite client (default 4)\n\
+     \x20 --hog K          hog requests per tick (default 0; hog client `hog`)\n\
+     \x20 --ticks T        submission rounds (default 1)\n\
+     \x20 --malformed K    junk lines sprinkled in (default 0)\n\
+     \x20 --oversized K    over-limit requests (validation rejects; default 0)\n\
+     \x20 --truncate       cut the final line mid-JSON (disconnect mid-stream)\n\
+     \x20 --sizing S       micro | quick scenario windows (default micro)\n\
+     \x20 --seed S         RNG seed (default 7)\n\n\
+     check options:\n\
+     \x20 --slo PATH           the soe-serve-slo/1 report to check\n\
+     \x20 --min-fairness F     fail if the Jain index is below F\n\
+     \x20 --max-polite-p99 W   fail if any non-hog p99 queue wait exceeds W dispatches\n\
+     \x20 --require-shed       fail unless backpressure shed at least one request\n\
+     \x20 --require-served N   fail unless served + replayed >= N"
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad {flag} `{v}`")),
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Scenario windows: `micro` answers in well under a second per
+/// request (load tests), `quick` matches `RunConfig::quick()` sizing.
+fn sizing(name: &str) -> Result<(u64, u64), String> {
+    match name {
+        "micro" => Ok((20_000, 60_000)),
+        "quick" => Ok((200_000, 1_000_000)),
+        other => Err(format!("unknown --sizing `{other}` (micro|quick)")),
+    }
+}
+
+fn scenario(rng: &mut u64, warmup: u64, measure: u64) -> Scenario {
+    // A compute-bound / memory-bound mix per the paper's pairings.
+    let compute = ["gcc", "eon", "gzip", "bzip2", "vortex"];
+    let memory = ["swim", "mgrid", "applu", "art", "mcf"];
+    let a = compute
+        .get((splitmix64(rng) % compute.len() as u64) as usize)
+        .copied()
+        .unwrap_or("gcc");
+    let b = memory
+        .get((splitmix64(rng) % memory.len() as u64) as usize)
+        .copied()
+        .unwrap_or("swim");
+    let f = [0.0, 0.5, 0.9]
+        .get((splitmix64(rng) % 3) as usize)
+        .copied()
+        .unwrap_or(0.5);
+    Scenario {
+        roster: vec![a.to_string(), b.to_string()],
+        policy: "fairness".to_string(),
+        f,
+        timeslice_cycles: 0,
+        warmup_cycles: warmup,
+        measure_cycles: measure,
+    }
+}
+
+fn request_line(id: &str, client: &str, sc: &Scenario) -> String {
+    let sc_json = serde_json::to_string(sc).unwrap_or_default();
+    format!(
+        "{{\"proto\":\"{PROTOCOL}\",\"id\":\"{id}\",\"client\":\"{client}\",\"scenario\":{sc_json}}}"
+    )
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let polite: usize = parse_num(args, "--polite", 3)?;
+    let per_client: usize = parse_num(args, "--per-client", 4)?;
+    let hog: usize = parse_num(args, "--hog", 0)?;
+    let ticks: usize = parse_num(args, "--ticks", 1)?;
+    let malformed: usize = parse_num(args, "--malformed", 0)?;
+    let oversized: usize = parse_num(args, "--oversized", 0)?;
+    let truncate = args.iter().any(|a| a == "--truncate");
+    let (warmup, measure) = sizing(&flag_value(args, "--sizing").unwrap_or("micro".into()))?;
+    let mut rng: u64 = parse_num(args, "--seed", 7)?;
+
+    let mut lines: Vec<String> = Vec::new();
+    for tick in 0..ticks.max(1) {
+        // The hog floods first each tick — the worst case for FIFO.
+        for k in 0..hog {
+            let sc = scenario(&mut rng, warmup, measure);
+            lines.push(request_line(&format!("hog-t{tick}-{k}"), "hog", &sc));
+        }
+        for c in 0..polite {
+            for k in 0..per_client {
+                let sc = scenario(&mut rng, warmup, measure);
+                lines.push(request_line(
+                    &format!("c{c}-t{tick}-{k}"),
+                    &format!("c{c}"),
+                    &sc,
+                ));
+            }
+        }
+    }
+    for k in 0..malformed {
+        // Rotate through distinct failure shapes: non-JSON, wrong
+        // protocol, missing fields, bad types.
+        let junk = match k % 4 {
+            0 => format!("this is not json at all ({k})"),
+            1 => format!(
+                "{{\"proto\":\"bogus/9\",\"id\":\"bad-{k}\",\"client\":\"mal\",\"scenario\":{{}}}}"
+            ),
+            2 => format!("{{\"proto\":\"{PROTOCOL}\",\"id\":\"bad-{k}\"}}"),
+            _ => format!(
+                "{{\"proto\":\"{PROTOCOL}\",\"id\":\"bad-{k}\",\"client\":\"mal\",\
+                 \"scenario\":{{\"roster\":\"gcc\",\"policy\":7}}}}"
+            ),
+        };
+        lines.push(junk);
+    }
+    for k in 0..oversized {
+        // A roster far over MAX_ROSTER: well-formed JSON, rejected by
+        // validation with a typed field error.
+        let mut sc = scenario(&mut rng, warmup, measure);
+        sc.roster = spec::NAMES.iter().map(|n| n.to_string()).collect();
+        lines.push(request_line(&format!("big-{k}"), "oversize", &sc));
+    }
+
+    // Deterministic shuffle of the non-hog tail so malformed/oversized
+    // lines land between valid requests rather than at the end.
+    let mut order: Vec<usize> = (0..lines.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = (splitmix64(&mut rng) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let last = order.len().saturating_sub(1);
+    for (pos, idx) in order.iter().enumerate() {
+        let Some(line) = lines.get(*idx) else {
+            continue;
+        };
+        if truncate && pos == last {
+            // Mid-stream disconnect: the final request dies mid-byte.
+            let cut = line.len() / 2;
+            let partial = line.get(..cut).unwrap_or(line);
+            write!(out, "{partial}").map_err(|e| e.to_string())?;
+            break;
+        }
+        writeln!(out, "{line}").map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = flag_value(args, "--slo").ok_or("check needs --slo <report.json>")?;
+    let raw = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let report: SloReport =
+        serde_json::from_str(&raw).map_err(|e| format!("parsing {path}: {e}"))?;
+    println!(
+        "{path}: discipline={} served={} replayed={} shed={} rejected={} \
+         dropped={} quarantined={} jain={:.3}",
+        report.discipline,
+        report.served,
+        report.replayed,
+        report.shed,
+        report.rejected,
+        report.dropped,
+        report.quarantined,
+        report.jain_fairness
+    );
+    let mut failures: Vec<String> = Vec::new();
+    if let Some(min) = flag_value(args, "--min-fairness") {
+        let min: f64 = min.parse().map_err(|_| "bad --min-fairness")?;
+        if report.jain_fairness < min {
+            failures.push(format!(
+                "jain fairness {:.3} below required {min}",
+                report.jain_fairness
+            ));
+        }
+    }
+    if let Some(max) = flag_value(args, "--max-polite-p99") {
+        let max: f64 = max.parse().map_err(|_| "bad --max-polite-p99")?;
+        for c in report.clients.iter().filter(|c| c.client != "hog") {
+            if c.p99_queue_wait > max {
+                failures.push(format!(
+                    "client {} p99 queue wait {:.1} exceeds {max}",
+                    c.client, c.p99_queue_wait
+                ));
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--require-shed") && report.shed == 0 {
+        failures.push("no requests were shed (backpressure never engaged)".to_string());
+    }
+    if let Some(n) = flag_value(args, "--require-served") {
+        let n: u64 = n.parse().map_err(|_| "bad --require-served")?;
+        if report.served + report.replayed < n {
+            failures.push(format!(
+                "served {} + replayed {} below required {n}",
+                report.served, report.replayed
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("SLO check passed");
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown command `{other}` (try `soe-loadgen help`)"
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! `soe-serve` — a robust line-delimited JSON scenario service.
+//!
+//! Reads `soe-serve/v1` requests from stdin (one JSON object per line),
+//! answers each on stdout, and exits after EOF (drain everything) or
+//! SIGTERM/SIGINT (finish in-flight work, journal the rest for
+//! `--resume`). See `EXPERIMENTS.md` for the protocol walkthrough and
+//! `soe-loadgen` for a traffic generator.
+//!
+//! ```text
+//! soe-loadgen gen --polite 3 --per-client 4 | soe-serve --journal j.log --slo slo.json
+//! ```
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use soe_repro::core::serve::{serve, QueueDiscipline, ServeConfig};
+use soe_repro::core::{atomic_write, FaultPlan};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+// The library forbids unsafe code; binaries install the two-line signal
+// handler themselves. Writing a static atomic from a signal handler is
+// the one async-signal-safe thing a handler may do.
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+fn usage() -> &'static str {
+    "soe-serve — scenario evaluation service (protocol soe-serve/v1)\n\n\
+     usage: soe-serve [options] < requests.jsonl > responses.jsonl\n\n\
+     options:\n\
+     \x20 --workers N        concurrent simulations (default 2)\n\
+     \x20 --capacity N       per-client queue bound (default 8)\n\
+     \x20 --quantum COST     DRR quantum in thread-cycles (default 250000)\n\
+     \x20 --fifo             unbounded-FIFO baseline (starvation demo; no shedding)\n\
+     \x20 --timeout SECS     per-attempt watchdog (default 60; 0 disables)\n\
+     \x20 --retries N        retries before quarantine (default 2)\n\
+     \x20 --journal PATH     journal accepted requests + responses here\n\
+     \x20 --resume           replay the journal instead of truncating it\n\
+     \x20 --memo DIR         memoize results in this directory\n\
+     \x20 --slo PATH         write the soe-serve-slo/1 report here\n\
+     \x20 --manifest PATH    write the failure manifest (quarantines/drops) here\n\
+     \x20 --quiet            no progress lines on stderr\n\n\
+     environment:\n\
+     \x20 SOE_FAULTS         deterministic fault injection, e.g.\n\
+     \x20                    panic:0.1,io:0.2,drop:0.1,slow:0.2,slow_ms:50@7\n\n\
+     SIGTERM/SIGINT stop accepting, finish in-flight requests, and leave\n\
+     the rest journaled; restart with --resume to serve them."
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_args(args: &[String]) -> Result<(ServeConfig, Option<String>, Option<String>), String> {
+    let mut cfg = ServeConfig::new();
+    cfg.progress = !args.iter().any(|a| a == "--quiet");
+    if let Some(v) = flag_value(args, "--workers") {
+        cfg.workers = v.parse().map_err(|_| format!("bad --workers `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--capacity") {
+        cfg.capacity = v.parse().map_err(|_| format!("bad --capacity `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--quantum") {
+        cfg.quantum = v.parse().map_err(|_| format!("bad --quantum `{v}`"))?;
+    }
+    if args.iter().any(|a| a == "--fifo") {
+        cfg.discipline = QueueDiscipline::UnboundedFifo;
+    }
+    if let Some(v) = flag_value(args, "--timeout") {
+        let secs: u64 = v.parse().map_err(|_| format!("bad --timeout `{v}`"))?;
+        cfg.timeout = (secs > 0).then(|| Duration::from_secs(secs));
+    }
+    if let Some(v) = flag_value(args, "--retries") {
+        cfg.retries = v.parse().map_err(|_| format!("bad --retries `{v}`"))?;
+    }
+    cfg.journal = flag_value(args, "--journal").map(Into::into);
+    cfg.resume = args.iter().any(|a| a == "--resume");
+    cfg.memo_dir = flag_value(args, "--memo").map(Into::into);
+    cfg.faults = FaultPlan::from_env()?;
+    cfg.check()?;
+    let slo = flag_value(args, "--slo");
+    let manifest = flag_value(args, "--manifest");
+    Ok((cfg, slo, manifest))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let (cfg, slo_path, manifest_path) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let outcome = match serve(std::io::stdin(), &mut out, &cfg, Some(&SHUTDOWN)) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = slo_path {
+        let json = serde_json::to_string_pretty(&outcome.report).unwrap_or_default();
+        if let Err(e) = atomic_write(path.as_ref(), format!("{json}\n").as_bytes()) {
+            eprintln!("error: writing SLO report {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = manifest_path {
+        let json = serde_json::to_string_pretty(&outcome.manifest).unwrap_or_default();
+        if let Err(e) = atomic_write(path.as_ref(), format!("{json}\n").as_bytes()) {
+            eprintln!("error: writing failure manifest {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if cfg.progress {
+        eprintln!(
+            "[soe-serve] served {} (+{} replayed), shed {}, rejected {}, \
+             dropped {}, quarantined {}, pending {}; jain {:.3}",
+            outcome.report.served,
+            outcome.report.replayed,
+            outcome.report.shed,
+            outcome.report.rejected,
+            outcome.report.dropped,
+            outcome.report.quarantined,
+            outcome.pending,
+            outcome.report.jain_fairness,
+        );
+    }
+    ExitCode::SUCCESS
+}

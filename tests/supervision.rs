@@ -95,6 +95,65 @@ fn journaled_resume_is_byte_identical_after_simulated_kill() {
 }
 
 #[test]
+fn resume_survives_a_crash_mid_journal_compaction() {
+    let cfg = mini_cfg();
+    let dir = tmp_dir("compaction-crash");
+    let journal = dir.join("journal.log");
+
+    let fresh = run_matrix_supervised(&cfg, &opts(Some(&journal), false)).unwrap();
+    let fresh_json = serde_json::to_string(&fresh.set).unwrap();
+
+    // Simulate a kill in the middle of a *compaction*: a bit-flipped
+    // record mid-file (what compaction was about to drop), a torn final
+    // line, and the compaction's own temp file left behind half-written
+    // — the worst crash window the atomic-write protocol has.
+    let raw = std::fs::read(&journal).unwrap();
+    let lines: Vec<&[u8]> = raw
+        .split(|b| *b == b'\n')
+        .filter(|l| !l.is_empty())
+        .collect();
+    let total = lines.len();
+    assert!(total >= 4, "journal unexpectedly small: {total} lines");
+    let mut damaged: Vec<u8> = Vec::new();
+    for (i, line) in lines.iter().enumerate().take(total - 1) {
+        if i == total / 2 {
+            // Flip a payload byte so the checksum no longer matches.
+            let mut bad = line.to_vec();
+            if let Some(b) = bad.last_mut() {
+                *b ^= 0x01;
+            }
+            damaged.extend_from_slice(&bad);
+        } else {
+            damaged.extend_from_slice(line);
+        }
+        damaged.push(b'\n');
+    }
+    damaged.extend_from_slice(&lines[total - 1][..lines[total - 1].len() / 2]);
+    atomic_write(&journal, &damaged).unwrap();
+    atomic_write(
+        &dir.join(".journal.log.tmp99999"),
+        b"partial compaction output cut mid-l",
+    )
+    .unwrap();
+
+    // Recovery must drop exactly the two damaged records, ignore the
+    // stale temp file, re-run only the lost work, and still produce a
+    // byte-identical result set.
+    let resumed = run_matrix_supervised(&cfg, &opts(Some(&journal), true)).unwrap();
+    assert!(resumed.manifest.is_empty(), "{:?}", resumed.manifest);
+    assert_eq!(resumed.reused, total - 2);
+    assert_eq!(resumed.executed, 2);
+    assert_eq!(serde_json::to_string(&resumed.set).unwrap(), fresh_json);
+
+    // The compacted journal is clean: a second resume replays every
+    // record without re-simulating anything.
+    let again = run_matrix_supervised(&cfg, &opts(Some(&journal), true)).unwrap();
+    assert_eq!(again.executed, 0);
+    assert_eq!(again.reused, total);
+    assert_eq!(serde_json::to_string(&again.set).unwrap(), fresh_json);
+}
+
+#[test]
 fn injected_panics_quarantine_the_matrix_instead_of_aborting() {
     let cfg = mini_cfg();
     let mut o = opts(None, false);
