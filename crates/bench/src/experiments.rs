@@ -115,6 +115,7 @@ pub struct MatrixOutcome {
 }
 
 fn results_dir() -> PathBuf {
+    // soe-lint: allow(determinism-taint): SOE_RESULTS_DIR picks where artifacts land, not what bytes they contain
     PathBuf::from(std::env::var("SOE_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()))
 }
 

@@ -282,6 +282,7 @@ pub fn run_config(sizing: Sizing) -> RunConfig {
 /// cannot leave a truncated figure behind.
 pub fn save_svg(name: &str, svg: &str) {
     let path = std::path::PathBuf::from(
+        // soe-lint: allow(determinism-taint): SOE_RESULTS_DIR picks where the figure lands, not what bytes it contains
         std::env::var("SOE_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()),
     )
     .join("reports")

@@ -122,7 +122,13 @@ pub fn check_events(trace: &Trace) -> Result<TraceSummary, String> {
                 }
                 last_retired = Some(retired);
             }
-            _ => {}
+            // Fills in a lossy trace can't be matched to misses; the
+            // remaining kinds carry no stream invariant of their own.
+            EventKind::L2Fill { .. }
+            | EventKind::EstimatorUpdate { .. }
+            | EventKind::DeficitGrant { .. }
+            | EventKind::DeficitForce { .. }
+            | EventKind::CycleQuotaExpiry { .. } => {}
         }
     }
     if trace.dropped == 0 {
@@ -309,7 +315,10 @@ pub fn check_jsonl(text: &str) -> Result<TraceSummary, String> {
             | EventKind::DeficitGrant { tid, .. }
             | EventKind::DeficitForce { tid }
             | EventKind::CycleQuotaExpiry { tid } => Some(tid),
-            _ => None,
+            // Machine-wide events name no thread.
+            EventKind::L2Miss { .. }
+            | EventKind::L2Fill { .. }
+            | EventKind::RetireSample { .. } => None,
         };
         if let Some(tid) = tid {
             if tid.index() >= threads {

@@ -195,7 +195,13 @@ pub fn trace_series(trace: &Trace) -> Vec<TimeSeries> {
                 .entry(tid.index())
                 .or_insert_with(|| TimeSeries::new(format!("deficit[{tid}]")))
                 .push(e.at as f64, balance),
-            _ => {}
+            // Scheduling and memory events carry no plottable value.
+            EventKind::SwitchIn { .. }
+            | EventKind::SwitchOut { .. }
+            | EventKind::L2Miss { .. }
+            | EventKind::L2Fill { .. }
+            | EventKind::DeficitForce { .. }
+            | EventKind::CycleQuotaExpiry { .. } => {}
         }
     }
     let mut out = vec![retired];

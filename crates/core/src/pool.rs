@@ -116,6 +116,7 @@ pub fn resolve_workers(explicit: Option<usize>) -> usize {
     explicit
         .filter(|n| *n > 0)
         .or_else(|| {
+            // soe-lint: allow(determinism-taint): SOE_JOBS changes scheduling, not result bytes — runs are keyed and merged in label order
             std::env::var("SOE_JOBS")
                 .ok()
                 .and_then(|s| s.trim().parse::<usize>().ok())
@@ -292,7 +293,7 @@ impl Progress {
             total,
             done: 0,
             spent: Duration::ZERO,
-            // soe-lint: allow(wall-clock): progress/ETA reporting only, never simulated state
+            // soe-lint: allow(wall-clock, determinism-taint): progress/ETA reporting on stderr only, never serialized state
             started: Instant::now(),
             enabled,
         }

@@ -260,7 +260,7 @@ pub fn serve<R: Read + Send + 'static>(
 ) -> std::io::Result<ServeOutcome> {
     cfg.check()
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
-    // soe-lint: allow(wall-clock): host wall-time for SLO latency reporting, never simulated state
+    // soe-lint: allow(wall-clock, determinism-taint): SLO latency fields are documented host wall-time, never simulated state
     let session_start = Instant::now();
 
     let mut journal = match cfg.journal.as_deref() {
@@ -340,7 +340,7 @@ pub fn serve<R: Read + Send + 'static>(
                         session.seen.insert(id.clone());
                         session.tally(&req.client).accepted += 1;
                         let client = req.client.clone();
-                        // soe-lint: allow(wall-clock): host wall-time for SLO latency reporting, never simulated state
+                        // soe-lint: allow(wall-clock, determinism-taint): SLO latency fields are documented host wall-time, never simulated state
                         let accepted_at = Instant::now();
                         queue.push_forced(
                             &client,
@@ -698,7 +698,7 @@ fn handle_line(
     session.tally(&req.client).accepted += 1;
     let client = req.client.clone();
     let cost = scenario.cost();
-    // soe-lint: allow(wall-clock): host wall-time for SLO latency reporting, never simulated state
+    // soe-lint: allow(wall-clock, determinism-taint): SLO latency fields are documented host wall-time, never simulated state
     let accepted_at = Instant::now();
     let pending = PendingReq {
         req,

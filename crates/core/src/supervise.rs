@@ -497,6 +497,7 @@ impl FaultPlan {
     /// malformed (never silently ignored — a chaos run that quietly ran
     /// without faults would fake a passing result).
     pub fn from_env() -> Result<Option<Self>, String> {
+        // soe-lint: allow(determinism-taint): SOE_FAULTS is an explicit operator chaos knob; the run records the plan verbatim and replays deterministically from it
         match std::env::var("SOE_FAULTS") {
             Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
             _ => Ok(None),
@@ -808,7 +809,7 @@ where
                 if index >= jobs.len() {
                     break;
                 }
-                // soe-lint: allow(wall-clock): host wall-time for the stall watchdog and ETA, never simulated state
+                // soe-lint: allow(wall-clock, determinism-taint): stall-watchdog/ETA wall-time; journal keys and result bytes never include it
                 let start = Instant::now();
                 let outcome = supervise_one(&jobs, index, &f, &opts);
                 if tx.send((index, start.elapsed(), outcome)).is_err() {

@@ -102,6 +102,13 @@ impl Baseline {
         out
     }
 
+    /// All (rule, file, count) entries, in sorted order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str, usize)> {
+        self.entries
+            .iter()
+            .map(|((rule, file), count)| (rule.as_str(), file.as_str(), *count))
+    }
+
     /// Number of distinct (rule, file) entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -127,6 +134,7 @@ mod tests {
             message: "m".into(),
             hint: "h",
             waiver: Waiver::None,
+            trail: Vec::new(),
         }
     }
 

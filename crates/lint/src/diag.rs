@@ -32,6 +32,17 @@ pub enum Waiver {
     Baselined,
 }
 
+/// One step of a multi-location trail (a call path or taint flow).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrailStep {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What happens at this step (`Machine::step calls issue`, …).
+    pub note: String,
+}
+
 /// One diagnostic produced by a rule.
 #[derive(Debug, Clone)]
 pub struct Finding {
@@ -49,6 +60,10 @@ pub struct Finding {
     pub hint: &'static str,
     /// Whether (and why) the finding is waived.
     pub waiver: Waiver,
+    /// Supporting locations: for workspace passes, the call path from a
+    /// root to the site (or the source→sink flow). Empty for per-file
+    /// rules.
+    pub trail: Vec<TrailStep>,
 }
 
 impl Finding {
@@ -106,9 +121,16 @@ pub fn render_text(findings: &[Finding], summary: Summary, verbose: bool) -> Str
             continue;
         }
         out.push_str(&format!(
-            "{}:{}: {tag}[{}]: {}\n    fix: {}\n",
-            f.file, f.line, f.rule, f.message, f.hint
+            "{}:{}: {tag}[{}]: {}\n",
+            f.file, f.line, f.rule, f.message
         ));
+        for step in &f.trail {
+            out.push_str(&format!(
+                "    path: {}:{}: {}\n",
+                step.file, step.line, step.note
+            ));
+        }
+        out.push_str(&format!("    fix: {}\n", f.hint));
     }
     out.push_str(&format!(
         "soe-lint: {} file(s): {} error(s), {} warning(s), {} suppressed, {} baselined\n",
@@ -125,9 +147,22 @@ pub fn render_json(findings: &[Finding], summary: Summary) -> String {
         if i > 0 {
             out.push(',');
         }
+        let mut path = String::from("[");
+        for (j, step) in f.trail.iter().enumerate() {
+            if j > 0 {
+                path.push_str(", ");
+            }
+            path.push_str(&format!(
+                "{{\"file\": {}, \"line\": {}, \"note\": {}}}",
+                json_str(&step.file),
+                step.line,
+                json_str(&step.note)
+            ));
+        }
+        path.push(']');
         out.push_str(&format!(
             "\n    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \
-             \"message\": {}, \"hint\": {}, \"waiver\": {}}}",
+             \"message\": {}, \"hint\": {}, \"waiver\": {}, \"path\": {path}}}",
             json_str(f.rule),
             json_str(&f.severity.to_string()),
             json_str(&f.file),
@@ -181,6 +216,7 @@ mod tests {
             message: "a \"quoted\" message".into(),
             hint: "do the thing",
             waiver,
+            trail: Vec::new(),
         }
     }
 
@@ -206,6 +242,31 @@ mod tests {
         assert!(json.contains(r#"\"quoted\""#));
         assert!(json.contains("\"errors\": 1"));
         // Balanced braces/brackets (cheap structural sanity).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn trails_render_in_text_and_json() {
+        let mut f = finding("panic-reachability", Waiver::None, Severity::Error);
+        f.trail = vec![
+            TrailStep {
+                file: "crates/sim/src/core.rs".into(),
+                line: 701,
+                note: "Machine::step calls drain".into(),
+            },
+            TrailStep {
+                file: "crates/stats/src/lib.rs".into(),
+                line: 12,
+                note: "drain panics via .unwrap()".into(),
+            },
+        ];
+        let s = summarize(&[f.clone()], 1);
+        let text = render_text(&[f.clone()], s, false);
+        assert!(text.contains("    path: crates/sim/src/core.rs:701: Machine::step calls drain"));
+        assert!(text.contains("    path: crates/stats/src/lib.rs:12:"));
+        let json = render_json(&[f], s);
+        assert!(json.contains("\"path\": [{\"file\": \"crates/sim/src/core.rs\", \"line\": 701"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

@@ -5,6 +5,8 @@
 //! cargo run -p soe-lint -- --format json    # machine-readable (CI)
 //! cargo run -p soe-lint -- --update-baseline
 //! cargo run -p soe-lint -- --list-rules
+//! cargo run -p soe-lint -- --explain panic-reachability
+//! cargo run -p soe-lint -- --graph Machine::step
 //! ```
 //!
 //! Exit codes: 0 clean, 1 unwaived errors, 2 usage or I/O failure.
@@ -14,7 +16,8 @@ use std::process::ExitCode;
 
 use soe_lint::baseline::Baseline;
 use soe_lint::diag::{render_json, render_text, summarize};
-use soe_lint::engine::{analyze_workspace_filtered, rule_exists};
+use soe_lint::engine::{analyze_workspace_filtered, build_workspace, rule_exists};
+use soe_lint::passes::all_passes;
 use soe_lint::rules::all_rules;
 
 const USAGE: &str = "\
@@ -28,8 +31,11 @@ OPTIONS:
   --baseline <PATH>   baseline file (default: <root>/lint-baseline.txt)
   --update-baseline   rewrite the baseline from current findings and exit
   --format <F>        text | json (default: text)
-  --rule <ID>         run only the named rule
+  --rule <ID>         run only the named rule or pass
   --list-rules        print the rule catalog and exit
+  --explain <ID>      print the LINTS.md rationale for a rule and exit
+  --graph <SYMBOL>    dump the call-graph neighborhood of a symbol
+                      (`name` or `Type::name`) and exit
   --verbose           also show suppressed/baselined findings
   --help              this message
 ";
@@ -41,6 +47,8 @@ struct Opts {
     format: Format,
     rule: Option<String>,
     list_rules: bool,
+    explain: Option<String>,
+    graph: Option<String>,
     verbose: bool,
 }
 
@@ -58,6 +66,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         format: Format::Text,
         rule: None,
         list_rules: false,
+        explain: None,
+        graph: None,
         verbose: false,
     };
     let mut it = args.iter();
@@ -85,12 +95,31 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 opts.rule = Some(v.clone());
             }
             "--list-rules" => opts.list_rules = true,
+            "--explain" => {
+                let v = it.next().ok_or("--explain needs a rule id")?;
+                if !rule_exists(v) {
+                    return Err(format!("unknown rule `{v}` (try --list-rules)"));
+                }
+                opts.explain = Some(v.clone());
+            }
+            "--graph" => {
+                let v = it.next().ok_or("--graph needs a symbol")?;
+                opts.graph = Some(v.clone());
+            }
             "--verbose" => opts.verbose = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     Ok(opts)
+}
+
+/// Writes to stdout, swallowing errors: piping into `head` closes the
+/// pipe early, and a lint tool that panics on that would fail its own
+/// panic-safety standards.
+fn emit(s: &str) {
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(s.as_bytes());
 }
 
 /// Autodetects the workspace root: the directory two levels above this
@@ -104,6 +133,115 @@ fn detect_root() -> PathBuf {
         .filter(|p| p.join("Cargo.toml").is_file())
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Extracts the rationale paragraph for `id` from LINTS.md: the
+/// `- **\`id\`** — …` bullet, through any indented continuation lines.
+fn explain_from_lints_md(text: &str, id: &str) -> Option<String> {
+    let marker = format!("- **`{id}`**");
+    let mut out = String::new();
+    let mut in_entry = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with(&marker) {
+            in_entry = true;
+            out.push_str(line.trim_start());
+            out.push('\n');
+            continue;
+        }
+        if in_entry {
+            // Continuation: indented, or blank inside the bullet.
+            let is_continuation = line.starts_with("  ") && !line.trim_start().starts_with("- **");
+            if is_continuation {
+                out.push_str(line.trim_start());
+                out.push('\n');
+            } else if line.trim().is_empty() && out.ends_with("\n\n") {
+                break;
+            } else if line.trim().is_empty() {
+                out.push('\n');
+            } else {
+                break;
+            }
+        }
+    }
+    if out.trim().is_empty() {
+        None
+    } else {
+        Some(out.trim_end().to_string() + "\n")
+    }
+}
+
+fn run_explain(root: &std::path::Path, id: &str) -> ExitCode {
+    let lints_path = root.join("LINTS.md");
+    let text = match std::fs::read_to_string(&lints_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("soe-lint: cannot read {}: {e}", lints_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match explain_from_lints_md(&text, id) {
+        Some(rationale) => {
+            emit(&rationale);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "soe-lint: `{id}` has no entry in {} — every rule must be documented there",
+                lints_path.display()
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_graph(root: &std::path::Path, symbol: &str) -> ExitCode {
+    let ws = match build_workspace(root) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("soe-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let hits = ws.lookup(symbol);
+    if hits.is_empty() {
+        eprintln!("soe-lint: `{symbol}` does not resolve to any workspace function");
+        return ExitCode::from(1);
+    }
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for idx in hits {
+        let node = &ws.fns[idx];
+        let _ = writeln!(
+            out,
+            "{} ({}:{})",
+            node.item.qualified(),
+            ws.path_of(idx),
+            node.item.line
+        );
+        let _ = writeln!(out, "  callers ({}):", ws.callers[idx].len());
+        for e in &ws.callers[idx] {
+            let _ = writeln!(
+                out,
+                "    {} ({}:{})",
+                ws.fns[e.to].item.qualified(),
+                ws.path_of(e.to),
+                e.line
+            );
+        }
+        let _ = writeln!(out, "  callees ({}):", ws.callees[idx].len());
+        for e in &ws.callees[idx] {
+            let _ = writeln!(
+                out,
+                "    {} ({}:{}, call at line {})",
+                ws.fns[e.to].item.qualified(),
+                ws.path_of(e.to),
+                ws.fns[e.to].item.line,
+                e.line
+            );
+        }
+    }
+    emit(&out);
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -145,10 +283,33 @@ fn main() -> ExitCode {
                     .join(" ")
             );
         }
+        for p in all_passes() {
+            println!(
+                "{:<26} {:<12} {:<8} [workspace pass; non-test]",
+                p.id,
+                p.category,
+                p.severity.to_string()
+            );
+            println!(
+                "    {}",
+                p.description
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
         return ExitCode::SUCCESS;
     }
 
     let root = opts.root.unwrap_or_else(detect_root);
+
+    if let Some(id) = &opts.explain {
+        return run_explain(&root, id);
+    }
+    if let Some(symbol) = &opts.graph {
+        return run_graph(&root, symbol);
+    }
+
     let baseline_path = opts
         .baseline
         .unwrap_or_else(|| root.join("lint-baseline.txt"));
@@ -210,7 +371,19 @@ fn main() -> ExitCode {
     match opts.format {
         Format::Text => {
             print!("{}", render_text(&analysis.findings, summary, opts.verbose));
+            for (rule, file) in &analysis.missing_baseline_files {
+                eprintln!(
+                    "soe-lint: baseline names a file that no longer exists: {rule} {file} — regenerate with --update-baseline"
+                );
+            }
             for (rule, file, count) in &analysis.stale_baseline {
+                if analysis
+                    .missing_baseline_files
+                    .iter()
+                    .any(|(r, f)| r == rule && f == file)
+                {
+                    continue; // already reported with the sharper message
+                }
                 eprintln!("soe-lint: stale baseline entry: {rule} {file} ({count} unused) — regenerate with --update-baseline");
             }
         }

@@ -65,6 +65,7 @@ impl Rule {
             message,
             hint,
             waiver: Waiver::None,
+            trail: Vec::new(),
         }
     }
 }
@@ -81,16 +82,6 @@ pub fn all_rules() -> Vec<Rule> {
             applies_in_tests: false,
             scope: SIM_CORE,
             check: check_unordered_collections,
-        },
-        Rule {
-            id: "unordered-iteration",
-            category: "determinism",
-            severity: Severity::Warning,
-            description: "iteration over a locally-declared HashMap/HashSet anywhere \
-                          in the workspace (heuristic; order-dependent output is the risk)",
-            applies_in_tests: false,
-            scope: &[],
-            check: check_unordered_iteration,
         },
         Rule {
             id: "wall-clock",
@@ -183,121 +174,6 @@ fn check_unordered_collections(file: &SourceFile, rule: &Rule) -> Vec<Finding> {
                 format!("`{}` in simulator/policy code", t.text),
                 "use BTreeMap/BTreeSet (deterministic order) or an index-ordered Vec",
             ));
-        }
-    }
-    out
-}
-
-/// Names declared (let-bound or struct-field) with a HashMap/HashSet
-/// type in this file, found by a statement-local scan.
-fn unordered_names(tokens: &[Token]) -> Vec<String> {
-    let mut names = Vec::new();
-    for (i, t) in tokens.iter().enumerate() {
-        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
-            continue;
-        }
-        // Walk back to the start of the statement/field (`;`, `{`, `}`
-        // or `,` at generic depth 0) collecting the first `name :` or
-        // `let [mut] name` pattern.
-        let mut j = i;
-        let mut depth = 0i32;
-        while j > 0 {
-            let p = &tokens[j - 1];
-            if p.is_punct('>') {
-                depth += 1;
-            } else if p.is_punct('<') {
-                depth -= 1;
-            } else if depth <= 0
-                && (p.is_punct(';') || p.is_punct('{') || p.is_punct('}') || p.is_punct(','))
-            {
-                break;
-            }
-            j -= 1;
-        }
-        // Within tokens[j..i]: `let [mut] NAME` or `NAME :`.
-        let window = &tokens[j..i];
-        for (k, w) in window.iter().enumerate() {
-            if w.is_ident("let") {
-                let mut n = k + 1;
-                if window.get(n).is_some_and(|t| t.is_ident("mut")) {
-                    n += 1;
-                }
-                if let Some(name) = window.get(n).filter(|t| t.kind == TokenKind::Ident) {
-                    names.push(name.text.clone());
-                }
-                break;
-            }
-            if w.kind == TokenKind::Ident
-                && window.get(k + 1).is_some_and(|t| t.is_punct(':'))
-                && !window.get(k + 2).is_some_and(|t| t.is_punct(':'))
-            {
-                names.push(w.text.clone());
-                break;
-            }
-        }
-    }
-    names.sort();
-    names.dedup();
-    names
-}
-
-fn check_unordered_iteration(file: &SourceFile, rule: &Rule) -> Vec<Finding> {
-    const ITER_METHODS: &[&str] = &[
-        "iter",
-        "iter_mut",
-        "into_iter",
-        "keys",
-        "values",
-        "values_mut",
-        "drain",
-    ];
-    let names = unordered_names(&file.tokens);
-    if names.is_empty() {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    let tokens = &file.tokens;
-    for (i, t) in tokens.iter().enumerate() {
-        if t.kind != TokenKind::Ident || !names.contains(&t.text) {
-            continue;
-        }
-        // name.iter() / name.keys() / …
-        if tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
-            && tokens.get(i + 2).is_some_and(|m| {
-                m.kind == TokenKind::Ident && ITER_METHODS.contains(&m.text.as_str())
-            })
-            && tokens.get(i + 3).is_some_and(|p| p.is_punct('('))
-        {
-            out.push(rule.finding(
-                file,
-                t.line,
-                format!(
-                    "iteration over unordered collection `{}` (via .{}())",
-                    t.text,
-                    tokens[i + 2].text
-                ),
-                "iterate a BTree collection or sort the items first",
-            ));
-        }
-        // for x in name / for x in &name
-        if i >= 1 {
-            let prev = &tokens[i - 1];
-            let prev2 = i >= 2; // only matters when prev is '&'
-            let after_in = prev.is_ident("in")
-                || (prev.is_punct('&') && prev2 && tokens[i - 2].is_ident("in"))
-                || (prev.is_ident("mut")
-                    && i >= 3
-                    && tokens[i - 2].is_punct('&')
-                    && tokens[i - 3].is_ident("in"));
-            let not_method = !tokens.get(i + 1).is_some_and(|n| n.is_punct('.'));
-            if after_in && not_method {
-                out.push(rule.finding(
-                    file,
-                    t.line,
-                    format!("for-loop over unordered collection `{}`", t.text),
-                    "iterate a BTree collection or sort the items first",
-                ));
-            }
         }
     }
     out
@@ -698,29 +574,6 @@ mod tests {
             "#[cfg(test)]\nmod tests { use std::collections::HashMap; }"
         )
         .is_empty());
-    }
-
-    #[test]
-    fn unordered_iteration_flags_iter_and_for() {
-        let src = "fn f() { let mut m = HashMap::new(); for (k, v) in &m { } m.keys().count(); }";
-        let found = run_rule("unordered-iteration", "crates/bench/src/x.rs", src);
-        assert_eq!(found.len(), 2, "{found:?}");
-        // Lookups alone are fine.
-        let src = "fn f() { let m = HashMap::new(); m.get(&1); m.insert(1, 2); }";
-        assert!(run_rule("unordered-iteration", "crates/bench/src/x.rs", src).is_empty());
-        // BTreeMap iteration is fine.
-        let src = "fn f() { let m = BTreeMap::new(); for k in &m { } }";
-        assert!(run_rule("unordered-iteration", "crates/bench/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn unordered_iteration_sees_struct_fields() {
-        let src =
-            "struct S { seen: HashSet<u64> }\nimpl S { fn f(&self) { self.seen.iter().count(); } }";
-        assert_eq!(
-            run_rule("unordered-iteration", "crates/bench/src/x.rs", src).len(),
-            1
-        );
     }
 
     #[test]

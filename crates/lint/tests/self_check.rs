@@ -94,6 +94,64 @@ fn every_suppression_in_the_tree_is_justified() {
 }
 
 #[test]
+fn every_hot_path_root_and_sink_resolves() {
+    // The workspace passes are anchored on named symbols. If a refactor
+    // renames `Machine::step` or `Journal::append`, the passes would
+    // silently analyze nothing — so resolution failures must fail tier-1,
+    // not just surface as a config-error finding in CI.
+    let root = workspace_root();
+    let ws = soe_lint::engine::build_workspace(&root).expect("workspace builds");
+    let mut unresolved = Vec::new();
+    for name in soe_lint::HOT_PATH_ROOTS {
+        if ws.lookup(name).is_empty() {
+            unresolved.push(format!("hot-path root `{name}`"));
+        }
+    }
+    for name in soe_lint::SERIALIZATION_SINKS {
+        if ws.lookup(name).is_empty() {
+            unresolved.push(format!("serialization sink `{name}`"));
+        }
+    }
+    for name in soe_lint::SCHEMA_ENUMS {
+        if ws.enums_named(name).is_empty() {
+            unresolved.push(format!("schema enum `{name}`"));
+        }
+    }
+    assert!(
+        unresolved.is_empty(),
+        "pass anchors no longer resolve (update crates/lint/src/passes.rs):\n  {}",
+        unresolved.join("\n  ")
+    );
+}
+
+#[test]
+fn call_graph_covers_the_simulator_hot_path() {
+    // A second guard against silent decay: the roots must actually reach
+    // a healthy slice of the workspace. An empty reachable set would mean
+    // the call-graph edges rotted even though the names still resolve.
+    let root = workspace_root();
+    let ws = soe_lint::engine::build_workspace(&root).expect("workspace builds");
+    let mut reachable = 0usize;
+    let mut seen = vec![false; ws.fns.len()];
+    let mut stack: Vec<usize> = soe_lint::HOT_PATH_ROOTS
+        .iter()
+        .flat_map(|n| ws.lookup(n))
+        .collect();
+    while let Some(f) = stack.pop() {
+        if std::mem::replace(&mut seen[f], true) {
+            continue;
+        }
+        reachable += 1;
+        stack.extend(ws.callees[f].iter().map(|e| e.to));
+    }
+    assert!(
+        reachable > 100,
+        "only {reachable} functions reachable from the hot-path roots; \
+         the call graph looks disconnected"
+    );
+}
+
+#[test]
 fn baseline_if_present_has_no_stale_entries() {
     let root = workspace_root();
     let baseline = load_baseline(&root);

@@ -217,22 +217,22 @@ impl SyntheticTrace {
     fn plain_uop(&self, i: InstrIndex, pc: Addr, miss_scale: f64, ilp_scale: f64) -> Uop {
         let p = &self.profile;
         let r = unit(p.seed, i, SALT_KIND);
-        let deps = self.deps(i, ilp_scale);
+        let [d1, d2] = self.deps(i, ilp_scale);
         let m = &p.mix;
         if r < m.load {
             Uop::new(UopKind::Load, pc)
                 .with_mem(self.data_addr(i, false, miss_scale))
-                .with_deps(deps[0], 0)
+                .with_deps(d1, 0)
         } else if r < m.load + m.store {
             Uop::new(UopKind::Store, pc)
                 .with_mem(self.data_addr(i, true, miss_scale))
-                .with_deps(deps[0], deps[1])
+                .with_deps(d1, d2)
         } else if r < m.load + m.store + m.mul {
-            Uop::new(UopKind::Mul, pc).with_deps(deps[0], deps[1])
+            Uop::new(UopKind::Mul, pc).with_deps(d1, d2)
         } else if r < m.load + m.store + m.mul + m.div {
-            Uop::new(UopKind::Div, pc).with_deps(deps[0], deps[1])
+            Uop::new(UopKind::Div, pc).with_deps(d1, d2)
         } else {
-            Uop::new(UopKind::Alu, pc).with_deps(deps[0], deps[1])
+            Uop::new(UopKind::Alu, pc).with_deps(d1, d2)
         }
     }
 

@@ -223,6 +223,7 @@ impl LitFile {
 
 impl TraceSource for LitFile {
     fn uop_at(&self, index: InstrIndex) -> Uop {
+        // soe-lint: allow(panic-reachability): index is reduced modulo len, and read_from rejects empty segments, so len > 0
         self.uops[(index % self.uops.len() as u64) as usize]
     }
 

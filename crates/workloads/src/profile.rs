@@ -179,6 +179,7 @@ impl Profile {
             }
             pos -= p.len_instrs;
         }
+        // soe-lint: allow(panic-reachability): pos < cycle = Σ len_instrs, so one phase must absorb it
         unreachable!("phase walk covers the cycle")
     }
 }
