@@ -9,7 +9,8 @@
 
 use soe_bench::{banner, run_config, run_supervised, write_observability, Cli};
 use soe_core::pool::Job;
-use soe_core::runner::{run_multi, try_run_single};
+use soe_core::runner::{try_run_multi_named, try_run_single};
+use soe_core::PolicyFactory;
 use soe_model::FairnessLevel;
 use soe_stats::{fnum, Align, Table};
 use soe_workloads::{spec, SyntheticTrace};
@@ -21,8 +22,11 @@ const ROSTER: [&str; 6] = ["swim", "art", "lucas", "mcf", "applu", "mgrid"];
 fn main() {
     let cli = Cli::parse_or_exit();
     let sizing = cli.sizing;
+    // `--policy` swaps the enforcement discipline for the whole sweep;
+    // the fairness column still sweeps F through the policy's knobs.
+    let policy = cli.policy_or_exit("fairness");
     banner(
-        "Thread-count sweep: SOE throughput vs number of threads",
+        &format!("Thread-count sweep: SOE throughput vs number of threads (policy: {policy})"),
         sizing,
     );
     write_observability(&cli);
@@ -54,6 +58,7 @@ fn main() {
         })
         .collect();
     let job_singles = singles.clone();
+    let job_policy = policy.clone();
     let runs = run_supervised(sweep_jobs, &cli, move |(n, f)| {
         let n = *n;
         // The max-cycles quota must leave room for every thread within
@@ -65,7 +70,16 @@ fn main() {
             .min(cfg.fairness.delta / (n as u64 + 1));
         // Every thread needs its share of warm-up.
         cfg_n.warmup_cycles = cfg.warmup_cycles * n as u64;
-        Ok(run_multi(&ROSTER[..n], *f, &job_singles[..n], &cfg_n))
+        let factory = PolicyFactory::builtin();
+        try_run_multi_named(
+            &factory,
+            &job_policy,
+            &ROSTER[..n],
+            *f,
+            &job_singles[..n],
+            &cfg_n,
+        )
+        .map_err(|e| e.to_string())
     });
 
     let mut t = Table::new(vec![

@@ -106,7 +106,7 @@ fn usage_error(message: &str) -> ! {
 /// The flags shared by the supervised experiment binaries.
 const USAGE: &str = "\
 usage: <binary> [--quick] [--force] [--resume] [--jobs N] [--timeout SECS] [--retries N]
-                [--trace PATH] [--metrics PATH]
+                [--policy NAME] [--trace PATH] [--metrics PATH]
 
   --quick         scaled-down smoke sizing (default: full paper sizing)
   --force         ignore an existing results cache and recompute
@@ -114,6 +114,9 @@ usage: <binary> [--quick] [--force] [--resume] [--jobs N] [--timeout SECS] [--re
   --jobs N        worker threads (default: SOE_JOBS or available cores)
   --timeout SECS  per-run watchdog; 0 disables (default: 1800)
   --retries N     retries per failing run before quarantine (default: 2)
+  --policy NAME   switch discipline from the policy registry, where the
+                  binary supports it (default: fairness; see
+                  `soe_core::PolicyFactory::builtin` for the zoo)
   --trace PATH    also capture a traced reference run: JSONL events at
                   PATH, plus PATH.chrome.json (Perfetto) and
                   PATH.series.csv (time series)
@@ -149,6 +152,13 @@ pub struct Cli {
     /// Write the traced reference run's metrics registry as CSV here
     /// (`--metrics`).
     pub metrics: Option<String>,
+    /// Switch discipline from the policy registry (`--policy`), for the
+    /// binaries that sweep one: `None` means the binary's default
+    /// (the paper's `fairness` mechanism). Validated against
+    /// [`soe_core::PolicyFactory`] by [`Cli::policy_or_exit`], not at
+    /// parse time, so binaries with a custom registry can resolve it
+    /// themselves.
+    pub policy: Option<String>,
 }
 
 impl Cli {
@@ -180,6 +190,7 @@ impl Cli {
             retries: 2,
             trace: None,
             metrics: None,
+            policy: None,
         };
         let mut explicit_jobs = None;
         let mut args = args.fuse();
@@ -206,6 +217,8 @@ impl Cli {
                         cli.trace = Some(v?);
                     } else if let Some(v) = flag_value(&arg, "--metrics", &mut args) {
                         cli.metrics = Some(v?);
+                    } else if let Some(v) = flag_value(&arg, "--policy", &mut args) {
+                        cli.policy = Some(v?);
                     } else {
                         return Err(format!("unknown flag {arg:?}"));
                     }
@@ -236,6 +249,22 @@ impl Cli {
             faults,
             progress: true,
         }
+    }
+
+    /// Resolves `--policy` against the built-in registry: the requested
+    /// name when given (exiting with the registered names on an unknown
+    /// one — a typo silently falling back to `fairness` would fake a
+    /// sweep), else `default_name`.
+    pub fn policy_or_exit(&self, default_name: &str) -> String {
+        let name = self.policy.as_deref().unwrap_or(default_name);
+        let factory = soe_core::PolicyFactory::builtin();
+        if !factory.contains(name) {
+            usage_error(&format!(
+                "unknown policy {name:?} (registered: {})",
+                factory.names().join(", ")
+            ));
+        }
+        name.to_string()
     }
 }
 
@@ -465,6 +494,8 @@ mod tests {
             "--trace",
             "out/run.jsonl",
             "--metrics=out/metrics.csv",
+            "--policy",
+            "islip",
         ])
         .unwrap();
         assert_eq!(cli.sizing, Sizing::Quick);
@@ -475,6 +506,16 @@ mod tests {
         assert_eq!(cli.retries, 0);
         assert_eq!(cli.trace.as_deref(), Some("out/run.jsonl"));
         assert_eq!(cli.metrics.as_deref(), Some("out/metrics.csv"));
+        assert_eq!(cli.policy.as_deref(), Some("islip"));
+    }
+
+    #[test]
+    fn cli_policy_defaults_to_none() {
+        assert_eq!(parse(&[]).unwrap().policy, None);
+        assert_eq!(
+            parse(&["--policy=wdrr"]).unwrap().policy.as_deref(),
+            Some("wdrr")
+        );
     }
 
     #[test]
@@ -492,6 +533,7 @@ mod tests {
             &["--retries", "-1"],
             &["--trace"],
             &["--metrics"],
+            &["--policy"],
             &["--frobnicate"],
         ] {
             let err = parse(bad).unwrap_err();

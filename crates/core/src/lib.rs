@@ -49,8 +49,10 @@ mod deficit;
 mod estimator;
 mod metrics;
 pub mod obs;
+pub mod policies;
 mod policy;
 pub mod pool;
+mod registry;
 pub mod runner;
 pub mod serve;
 pub mod supervise;
@@ -63,8 +65,10 @@ pub use estimator::{
 };
 pub use metrics::{PairRun, SingleRun, ThreadOutcome};
 pub use obs::MetricsRegistry;
+pub use policies::{IslipPolicy, UsageFairPolicy, WdrrPolicy};
 pub use policy::{FairnessConfig, FairnessPolicy, MissLatencyMode, TimeSlicePolicy};
 pub use pool::{resolve_workers, run_jobs, try_run_jobs, Job, JobError, PoolOptions};
+pub use registry::{PolicyBuilder, PolicyError, PolicyFactory, PolicySpec};
 pub use supervise::{
     atomic_write, supervise_call, supervise_jobs, supervise_jobs_with, FailureKind,
     FailureManifest, Fault, FaultPlan, JobFailure, Journal, JournalRecovery, Quarantined,

@@ -1,0 +1,35 @@
+//! The policy zoo: alternative switch disciplines beyond the paper's
+//! fairness mechanism, drawn from the arbitration literature.
+//!
+//! The paper evaluates one enforcement mechanism (deficit counters plus
+//! a maximum-cycles quota) on two-thread pairs, but its equations are
+//! N-thread and production cores arbitrate many contexts with many
+//! disciplines. This module implements three of them on the same
+//! [`SwitchPolicy`](soe_sim::SwitchPolicy) hooks:
+//!
+//! * [`IslipPolicy`] — iSLIP-style rotating-priority round-robin: a
+//!   grant pointer advances past the last accepted context, and busy
+//!   contexts (still waiting out a miss) are skipped, like an iSLIP
+//!   arbiter skipping inputs with no request.
+//! * [`UsageFairPolicy`] — usage-fair banning: per-thread service
+//!   (core-occupancy cycles) is tracked with exponential decay, and a
+//!   thread whose share exceeds a multiple of the fair share is
+//!   temporarily ineligible to switch in.
+//! * [`WdrrPolicy`] — weighted deficit round-robin, NoC-style: each
+//!   thread owns a [`DeficitCounter`](crate::DeficitCounter) with a
+//!   *fixed* per-thread quantum proportional to its weight (unlike the
+//!   paper's estimator-driven quotas), debited per retired instruction.
+//!
+//! Every discipline registers in the
+//! [`PolicyFactory`](crate::PolicyFactory) and must pass the shared
+//! conformance matrix in `tests/policy_conformance.rs` — trace
+//! invariants, forced-switch occupancy floors, bookkeeping conservation,
+//! determinism, and fast-forward invariance.
+
+mod ban;
+mod islip;
+mod wdrr;
+
+pub use ban::UsageFairPolicy;
+pub use islip::IslipPolicy;
+pub use wdrr::WdrrPolicy;

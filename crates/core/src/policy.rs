@@ -354,6 +354,13 @@ impl SwitchPolicy for FairnessPolicy {
         SwitchDecision::Continue
     }
 
+    fn on_measure_start(&mut self, _now: Cycle) {
+        // Keep estimator state and deficits (they are the mechanism's
+        // long-lived memory); drop only the warm-up window history so
+        // Figure 5 series cover exactly the measured window.
+        self.clear_records();
+    }
+
     fn next_decision_at(&self, _tid: ThreadId, _now: Cycle) -> Option<Cycle> {
         // `each_cycle` acts at exactly two scheduled points: the end of
         // the current Δ window (recalculation, any F) and the cycle

@@ -1,0 +1,471 @@
+//! The policy registry: named construction of switch disciplines.
+//!
+//! Experiments refer to disciplines by name (`threadsweep --policy
+//! islip`, the `policyzoo` grid, the conformance matrix); the
+//! [`PolicyFactory`] maps each name to a builder that instantiates a
+//! `Box<dyn SwitchPolicy>` from a [`PolicySpec`] — thread count, target
+//! [`FairnessLevel`], and sizing. Every builder is parameterized the
+//! same way, so a sweep can iterate `factory.names()` and get a
+//! comparable policy per cell; the conformance matrix in
+//! `tests/policy_conformance.rs` asserts that every registered name
+//! passes the shared machine-checked contract.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use soe_model::weighted::Weights;
+use soe_model::FairnessLevel;
+use soe_sim::{SimError, SwitchPolicy};
+
+use crate::policies::{IslipPolicy, UsageFairPolicy, WdrrPolicy};
+use crate::policy::{FairnessConfig, FairnessPolicy, TimeSlicePolicy};
+
+/// Everything a policy builder may be parameterized by: the roster
+/// size, the target fairness, the mechanism sizing, and optional
+/// per-thread weights.
+///
+/// The `target` field is authoritative: builders override
+/// `fairness.target` with it, so callers can reuse one sizing template
+/// across a fairness sweep.
+#[derive(Debug, Clone)]
+pub struct PolicySpec {
+    /// Number of hardware threads in the roster.
+    pub threads: usize,
+    /// Target fairness `F` (0 disables enforcement where applicable).
+    pub target: FairnessLevel,
+    /// Mechanism sizing (Δ, cycle quota, miss latency, deficit cap, …).
+    pub fairness: FairnessConfig,
+    /// Optional per-thread service weights (`None` = uniform).
+    pub weights: Option<Weights>,
+}
+
+impl PolicySpec {
+    /// A spec with uniform weights.
+    pub fn new(threads: usize, target: FairnessLevel, fairness: FairnessConfig) -> Self {
+        Self {
+            threads,
+            target,
+            fairness,
+            weights: None,
+        }
+    }
+
+    /// Sets per-thread weights (builder style).
+    pub fn with_weights(mut self, weights: Weights) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Validates the spec: at least one thread, a sizing that lets
+    /// every thread run within each Δ window, and one weight per thread
+    /// when weights are given.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::Invalid`] naming the offending field.
+    pub fn check(&self) -> Result<(), PolicyError> {
+        let invalid = |reason: String| {
+            Err(PolicyError::Invalid {
+                name: String::new(),
+                reason,
+            })
+        };
+        if self.threads == 0 {
+            return invalid("roster must contain at least one thread".into());
+        }
+        if let Err(e) = self.fairness.check(self.threads) {
+            return invalid(e.0);
+        }
+        if let Some(w) = &self.weights {
+            if w.len() != self.threads {
+                return invalid(format!(
+                    "{} weights for {} threads (need exactly one per thread)",
+                    w.len(),
+                    self.threads
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// How aggressively a fixed-knob discipline should preempt at this
+    /// fairness target, as a slice/quantum *shrink factor* in (0, 1]:
+    /// `1 / (1 + 3F)`. F = 0 keeps the full `max_cycles_quota` (mild,
+    /// throughput-friendly); F = 1 shrinks turns to a quarter of it
+    /// (tight interleaving). This is the registry's uniform translation
+    /// of the paper's continuous F knob for disciplines that have no
+    /// estimator to derive per-thread quotas from.
+    pub fn aggressiveness(&self) -> f64 {
+        1.0 / (1.0 + 3.0 * self.target.get())
+    }
+
+    /// Occupancy slice in cycles for slice-based disciplines:
+    /// `max_cycles_quota × aggressiveness`, floored at
+    /// `min_quota_cycles` (and 1).
+    pub fn slice_cycles(&self) -> u64 {
+        let raw = (self.fairness.max_cycles_quota as f64 * self.aggressiveness()) as u64;
+        raw.max(self.fairness.min_quota_cycles).max(1)
+    }
+
+    /// Instruction quantum for quantum-based disciplines: a quarter of
+    /// the cycle quota's worth of instructions at IPC 1, scaled by
+    /// [`PolicySpec::aggressiveness`] and floored at 1.
+    pub fn quantum_instructions(&self) -> f64 {
+        let base = self.fairness.max_cycles_quota as f64 / 4.0;
+        (base * self.aggressiveness()).max(1.0)
+    }
+
+    /// Ban threshold for usage-fair banning, as a multiple of the fair
+    /// share: `1 / F`. `None` when F = 0 (banning disabled); F = 1 bans
+    /// exactly at the fair share.
+    pub fn share_multiple(&self) -> Option<f64> {
+        if self.target.is_enforced() {
+            Some(1.0 / self.target.get())
+        } else {
+            None
+        }
+    }
+}
+
+/// Typed failure of a registry operation — never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The requested name is not registered.
+    Unknown {
+        /// The name that was asked for.
+        name: String,
+        /// Every registered name, sorted (for the error message).
+        known: Vec<String>,
+    },
+    /// A name was registered twice.
+    Duplicate {
+        /// The already-taken name.
+        name: String,
+    },
+    /// The spec failed validation for this policy.
+    Invalid {
+        /// The policy being built (empty while the spec is checked
+        /// standalone).
+        name: String,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::Unknown { name, known } => {
+                write!(
+                    f,
+                    "unknown policy {name:?} (registered: {})",
+                    known.join(", ")
+                )
+            }
+            PolicyError::Duplicate { name } => {
+                write!(f, "policy {name:?} is already registered")
+            }
+            PolicyError::Invalid { name, reason } => {
+                if name.is_empty() {
+                    write!(f, "invalid policy spec: {reason}")
+                } else {
+                    write!(f, "invalid spec for policy {name:?}: {reason}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl From<PolicyError> for SimError {
+    fn from(e: PolicyError) -> Self {
+        SimError::InvalidConfig(e.to_string())
+    }
+}
+
+/// A registered builder: spec in, boxed policy (or typed error) out.
+pub type PolicyBuilder =
+    Box<dyn Fn(&PolicySpec) -> Result<Box<dyn SwitchPolicy>, PolicyError> + Send + Sync>;
+
+/// Name → builder registry for switch disciplines.
+///
+/// # Examples
+///
+/// ```
+/// use soe_core::{FairnessConfig, PolicyFactory, PolicySpec};
+/// use soe_model::FairnessLevel;
+///
+/// let factory = PolicyFactory::builtin();
+/// let spec = PolicySpec::new(
+///     2,
+///     FairnessLevel::HALF,
+///     FairnessConfig::paper(FairnessLevel::HALF),
+/// );
+/// let policy = factory.build("islip", &spec).expect("registered");
+/// assert!(policy.name().starts_with("islip"));
+/// assert!(factory.build("no-such", &spec).is_err());
+/// ```
+pub struct PolicyFactory {
+    builders: BTreeMap<String, PolicyBuilder>,
+}
+
+impl PolicyFactory {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            builders: BTreeMap::new(),
+        }
+    }
+
+    /// The built-in zoo: `fairness` (the paper's mechanism),
+    /// `timeslice` (Section 6 strawman), `islip`, `ban`, and `wdrr`.
+    pub fn builtin() -> Self {
+        let mut f = Self::new();
+        // The names are fresh in an empty registry, so registration
+        // cannot fail; errors here would be a bug in this constructor.
+        let _ = f.register("fairness", |spec: &PolicySpec| {
+            let cfg = FairnessConfig {
+                target: spec.target,
+                ..spec.fairness
+            };
+            let p = FairnessPolicy::new(spec.threads, cfg);
+            Ok(match spec.weights.clone() {
+                Some(w) => Box::new(p.with_weights(w)) as Box<dyn SwitchPolicy>,
+                None => Box::new(p) as Box<dyn SwitchPolicy>,
+            })
+        });
+        let _ = f.register("timeslice", |spec: &PolicySpec| {
+            Ok(Box::new(TimeSlicePolicy::new(spec.slice_cycles())) as Box<dyn SwitchPolicy>)
+        });
+        let _ = f.register("islip", |spec: &PolicySpec| {
+            Ok(Box::new(IslipPolicy::new(
+                spec.threads,
+                spec.slice_cycles(),
+                spec.fairness.miss_lat,
+            )) as Box<dyn SwitchPolicy>)
+        });
+        let _ = f.register("ban", |spec: &PolicySpec| {
+            Ok(Box::new(UsageFairPolicy::new(
+                spec.threads,
+                spec.fairness.max_cycles_quota,
+                spec.fairness.delta,
+                spec.share_multiple(),
+            )) as Box<dyn SwitchPolicy>)
+        });
+        let _ = f.register("wdrr", |spec: &PolicySpec| {
+            Ok(Box::new(WdrrPolicy::new(
+                spec.threads,
+                spec.quantum_instructions(),
+                spec.weights.as_ref(),
+                spec.fairness.deficit_cap,
+                spec.fairness.max_cycles_quota,
+            )) as Box<dyn SwitchPolicy>)
+        });
+        f
+    }
+
+    /// Registers a builder under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::Duplicate`] if the name is taken — a
+    /// registry never silently replaces a discipline.
+    pub fn register(
+        &mut self,
+        name: &str,
+        builder: impl Fn(&PolicySpec) -> Result<Box<dyn SwitchPolicy>, PolicyError>
+            + Send
+            + Sync
+            + 'static,
+    ) -> Result<(), PolicyError> {
+        if self.builders.contains_key(name) {
+            return Err(PolicyError::Duplicate {
+                name: name.to_string(),
+            });
+        }
+        self.builders.insert(name.to_string(), Box::new(builder));
+        Ok(())
+    }
+
+    /// Builds the named policy from the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::Unknown`] for an unregistered name,
+    /// [`PolicyError::Invalid`] when the spec fails validation (checked
+    /// *before* the builder runs, so builders see only valid specs),
+    /// or whatever the builder itself returns.
+    pub fn build(
+        &self,
+        name: &str,
+        spec: &PolicySpec,
+    ) -> Result<Box<dyn SwitchPolicy>, PolicyError> {
+        let Some(builder) = self.builders.get(name) else {
+            return Err(PolicyError::Unknown {
+                name: name.to_string(),
+                known: self.names(),
+            });
+        };
+        spec.check().map_err(|e| match e {
+            PolicyError::Invalid { reason, .. } => PolicyError::Invalid {
+                name: name.to_string(),
+                reason,
+            },
+            other => other,
+        })?;
+        builder(spec)
+    }
+
+    /// Every registered name, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.builders.keys().cloned().collect()
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.builders.contains_key(name)
+    }
+}
+
+impl Default for PolicyFactory {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl fmt::Debug for PolicyFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyFactory")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(threads: usize, f: FairnessLevel) -> PolicySpec {
+        PolicySpec::new(threads, f, FairnessConfig::paper(f))
+    }
+
+    #[test]
+    fn builtin_has_the_five_disciplines_sorted() {
+        let f = PolicyFactory::builtin();
+        assert_eq!(
+            f.names(),
+            vec!["ban", "fairness", "islip", "timeslice", "wdrr"]
+        );
+    }
+
+    #[test]
+    fn every_builtin_builds_at_2_4_8_threads() {
+        let f = PolicyFactory::builtin();
+        for n in [2usize, 4, 8] {
+            for name in f.names() {
+                let mut s = spec(n, FairnessLevel::HALF);
+                // Paper sizing needs the quota scaled down for wide
+                // rosters (quota × threads ≤ Δ).
+                s.fairness.max_cycles_quota = s
+                    .fairness
+                    .max_cycles_quota
+                    .min(s.fairness.delta / (n as u64 + 1));
+                let p = f.build(&name, &s).expect("builtin builds");
+                assert!(!p.name().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error() {
+        let f = PolicyFactory::builtin();
+        let Err(err) = f.build("lottery", &spec(2, FairnessLevel::NONE)) else {
+            panic!("lottery must not build");
+        };
+        match err {
+            PolicyError::Unknown { name, known } => {
+                assert_eq!(name, "lottery");
+                assert_eq!(known.len(), 5);
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut f = PolicyFactory::builtin();
+        let err = f
+            .register("islip", |_s| {
+                Err(PolicyError::Invalid {
+                    name: "islip".into(),
+                    reason: "never called".into(),
+                })
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PolicyError::Duplicate {
+                name: "islip".into()
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_before_the_builder_runs() {
+        let f = PolicyFactory::builtin();
+        let zero = spec(0, FairnessLevel::HALF);
+        for name in f.names() {
+            let Err(err) = f.build(&name, &zero) else {
+                panic!("{name}: zero-thread spec must not build");
+            };
+            assert!(
+                matches!(err, PolicyError::Invalid { .. }),
+                "{name}: {err:?}"
+            );
+            assert!(err.to_string().contains("at least one thread"), "{err}");
+        }
+        // Quota too large for the roster is caught the same way.
+        let mut wide = spec(8, FairnessLevel::HALF);
+        wide.fairness.max_cycles_quota = wide.fairness.delta;
+        assert!(matches!(
+            f.build("fairness", &wide),
+            Err(PolicyError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn weight_count_must_match_threads() {
+        let f = PolicyFactory::builtin();
+        let s = spec(4, FairnessLevel::HALF).with_weights(Weights::new(vec![2.0, 1.0]));
+        assert!(matches!(
+            f.build("wdrr", &s),
+            Err(PolicyError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn aggressiveness_maps_f_to_knobs() {
+        let s0 = spec(2, FairnessLevel::NONE);
+        let s1 = spec(2, FairnessLevel::PERFECT);
+        assert!((s0.aggressiveness() - 1.0).abs() < 1e-12);
+        assert!((s1.aggressiveness() - 0.25).abs() < 1e-12);
+        assert_eq!(s0.slice_cycles(), s0.fairness.max_cycles_quota);
+        assert!(s1.slice_cycles() < s0.slice_cycles());
+        assert_eq!(s0.share_multiple(), None);
+        assert_eq!(s1.share_multiple(), Some(1.0));
+    }
+
+    #[test]
+    fn policy_error_messages_name_the_problem() {
+        let e = PolicyError::Unknown {
+            name: "x".into(),
+            known: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(e.to_string(), "unknown policy \"x\" (registered: a, b)");
+        let d = PolicyError::Duplicate { name: "a".into() };
+        assert!(d.to_string().contains("already registered"));
+        let sim: SimError = d.into();
+        assert!(matches!(sim, SimError::InvalidConfig(_)));
+    }
+}

@@ -14,6 +14,7 @@ use soe_workloads::Pair;
 
 use crate::metrics::{PairRun, SingleRun, ThreadOutcome};
 use crate::policy::{FairnessConfig, FairnessPolicy, TimeSlicePolicy};
+use crate::registry::{PolicyFactory, PolicySpec};
 
 /// Experiment sizing: how long to warm up and measure.
 ///
@@ -175,26 +176,63 @@ pub fn try_run_pair_with_policy(
     target: Option<FairnessLevel>,
 ) -> Result<PairRun, SimError> {
     assert_eq!(singles.len(), 2, "one single-thread reference per thread");
+    try_run_traces_with_policy(
+        pair.label(),
+        pair.boxed_traces(),
+        policy,
+        target,
+        singles,
+        cfg,
+    )
+}
+
+/// The shared N-thread measurement loop: warm up, reset statistics,
+/// notify the policy via
+/// [`SwitchPolicy::on_measure_start`](soe_sim::SwitchPolicy::on_measure_start),
+/// measure, assemble the [`PairRun`]. Every pair/multi runner funnels
+/// through here so all policies get the same methodology; property
+/// tests drive it directly with synthetic trace sources.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] for an empty roster, a `singles` length
+/// mismatch, or a bad machine configuration;  [`SimError::Stalled`] /
+/// [`SimError::Wedged`] from the run itself.
+pub fn try_run_traces_with_policy(
+    label: String,
+    traces: Vec<Box<dyn TraceSource>>,
+    policy: Box<dyn SwitchPolicy>,
+    target: Option<FairnessLevel>,
+    singles: &[SingleRun],
+    cfg: &RunConfig,
+) -> Result<PairRun, SimError> {
+    if traces.is_empty() {
+        return Err(SimError::InvalidConfig(
+            "roster must contain at least one thread".into(),
+        ));
+    }
+    if singles.len() != traces.len() {
+        return Err(SimError::InvalidConfig(format!(
+            "{} single-thread reference(s) for a {}-thread roster",
+            singles.len(),
+            traces.len()
+        )));
+    }
     cfg.machine
         .check()
         .map_err(|e| SimError::InvalidConfig(e.0))?;
     let policy_name = policy.name().to_string();
-    let mut m = Machine::new(cfg.machine, pair.boxed_traces(), policy);
+    let mut m = Machine::new(cfg.machine, traces, policy);
     m.try_run_cycles(cfg.warmup_cycles, cfg.stall_window)?;
     m.reset_stats();
-    if let Some(p) = m
-        .policy_mut()
-        .as_any_mut()
-        .and_then(|a| a.downcast_mut::<FairnessPolicy>())
-    {
-        p.clear_records();
-    }
+    let now = m.now();
+    m.policy_mut().on_measure_start(now);
     let start = m.now();
     m.try_run_cycles(cfg.measure_cycles, cfg.stall_window)?;
     let cycles = m.now() - start;
     let stats = m.stats().clone();
     Ok(assemble_pair_run(
-        pair.label(),
+        label,
         policy_name,
         target,
         cycles,
@@ -304,13 +342,8 @@ pub fn try_run_pair_traced(
     m.attach_tracer(Rc::clone(&tracer));
     m.try_run_cycles(cfg.warmup_cycles, cfg.stall_window)?;
     m.reset_stats();
-    if let Some(p) = m
-        .policy_mut()
-        .as_any_mut()
-        .and_then(|a| a.downcast_mut::<FairnessPolicy>())
-    {
-        p.clear_records();
-    }
+    let now = m.now();
+    m.policy_mut().on_measure_start(now);
     tracer.borrow_mut().restart(m.now());
     let start = m.now();
     m.try_run_cycles(cfg.measure_cycles, cfg.stall_window)?;
@@ -406,6 +439,11 @@ pub fn try_run_multi_with_policy(
     singles: &[SingleRun],
     cfg: &RunConfig,
 ) -> Result<PairRun, SimError> {
+    if names.is_empty() {
+        return Err(SimError::InvalidConfig(
+            "roster must contain at least one thread".into(),
+        ));
+    }
     if singles.len() != names.len() {
         return Err(SimError::InvalidConfig(format!(
             "{} single-thread reference(s) for a {}-thread roster",
@@ -413,40 +451,43 @@ pub fn try_run_multi_with_policy(
             names.len()
         )));
     }
-    cfg.machine
-        .check()
-        .map_err(|e| SimError::InvalidConfig(e.0))?;
-    let traces = soe_workloads::pairs::group_traces(names);
-    let policy_name = policy.name().to_string();
-    let mut m = Machine::new(
-        cfg.machine,
-        traces
-            .into_iter()
-            .map(|t| Box::new(t) as Box<dyn TraceSource>)
-            .collect(),
-        policy,
-    );
-    m.try_run_cycles(cfg.warmup_cycles, cfg.stall_window)?;
-    m.reset_stats();
-    if let Some(p) = m
-        .policy_mut()
-        .as_any_mut()
-        .and_then(|a| a.downcast_mut::<FairnessPolicy>())
+    if let Some(unknown) = names
+        .iter()
+        .find(|n| soe_workloads::spec::profile(n).is_none())
     {
-        p.clear_records();
+        return Err(SimError::InvalidConfig(format!(
+            "unknown benchmark {unknown:?} in roster"
+        )));
     }
-    let start = m.now();
-    m.try_run_cycles(cfg.measure_cycles, cfg.stall_window)?;
-    let cycles = m.now() - start;
-    let stats = m.stats().clone();
-    Ok(assemble_pair_run(
-        names.join(":"),
-        policy_name,
-        target,
-        cycles,
-        &stats,
-        singles,
-    ))
+    let traces = soe_workloads::pairs::group_traces(names)
+        .into_iter()
+        .map(|t| Box::new(t) as Box<dyn TraceSource>)
+        .collect();
+    try_run_traces_with_policy(names.join(":"), traces, policy, target, singles, cfg)
+}
+
+/// Runs an N-thread group under a *named* discipline built from the
+/// [`PolicyFactory`] registry: the sweep binaries' entry point
+/// (`threadsweep --policy`, the `policyzoo` grid). The spec hands the
+/// builder the roster size, the target `f`, and `cfg.fairness` re-aimed
+/// at `f`.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] for an unregistered policy name or an
+/// invalid spec (via [`PolicyError`](crate::PolicyError)), plus
+/// everything [`try_run_multi_with_policy`] reports.
+pub fn try_run_multi_named(
+    factory: &PolicyFactory,
+    policy: &str,
+    names: &[&str],
+    f: FairnessLevel,
+    singles: &[SingleRun],
+    cfg: &RunConfig,
+) -> Result<PairRun, SimError> {
+    let spec = PolicySpec::new(names.len(), f, cfg.with_target(f));
+    let built = factory.build(policy, &spec)?;
+    try_run_multi_with_policy(names, built, Some(f), singles, cfg)
 }
 
 /// Measures the two single-thread references of a pair.

@@ -34,6 +34,12 @@ pub const HOT_PATH_ROOTS: &[&str] = &[
     "FairnessPolicy::on_switch_out",
     "FairnessPolicy::after_retire",
     "FairnessPolicy::each_cycle",
+    "IslipPolicy::pick_next",
+    "IslipPolicy::each_cycle",
+    "UsageFairPolicy::pick_next",
+    "UsageFairPolicy::each_cycle",
+    "WdrrPolicy::after_retire",
+    "WdrrPolicy::each_cycle",
 ];
 
 /// Functions that serialize state into artifacts whose bytes the
@@ -735,6 +741,12 @@ mod tests {
                 "impl FairnessPolicy { fn recalc(&mut self) {} fn on_switch_in(&mut self) {} \
                  fn on_switch_out(&mut self) {} fn after_retire(&mut self) {} \
                  fn each_cycle(&mut self) {} }",
+            ),
+            (
+                "crates/core/src/policies/mod.rs",
+                "impl IslipPolicy { fn pick_next(&mut self) {} fn each_cycle(&mut self) {} }\n\
+                 impl UsageFairPolicy { fn pick_next(&mut self) {} fn each_cycle(&mut self) {} }\n\
+                 impl WdrrPolicy { fn after_retire(&mut self) {} fn each_cycle(&mut self) {} }",
             ),
             (
                 "crates/core/src/sinks.rs",

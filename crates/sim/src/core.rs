@@ -573,7 +573,15 @@ impl Machine {
         // Drain: squash everything un-retired; in-flight cache fills keep
         // going (MSHR timing lives in the hierarchy).
         self.rob.squash(0);
-        let next = ThreadId::new(((cur.index() + 1) % self.traces.len()) as u8);
+        let threads = self.traces.len();
+        let rotation = ThreadId::new(((cur.index() + 1) % threads) as u8);
+        // Arbitration disciplines may pick the incoming thread; an absent
+        // or out-of-range pick falls back to the fixed rotation so a
+        // misbehaving policy degrades to round-robin, never wedges.
+        let next = match self.policy.pick_next(cur, threads, now) {
+            Some(pick) if pick.index() < threads => pick,
+            _ => rotation,
+        };
         self.state = CoreState::Draining {
             until: now + self.cfg.soe.drain_latency,
             next,

@@ -106,6 +106,32 @@ pub trait SwitchPolicy {
         SwitchDecision::Continue
     }
 
+    /// Select which thread to switch *in* now that `current` has been
+    /// switched out. `threads` is the roster size; every returned id must
+    /// satisfy `id.index() < threads` — out-of-range picks are ignored.
+    ///
+    /// Returning `None` — the default — keeps the machine's fixed
+    /// rotation (`current + 1 mod threads`), which is what the paper's
+    /// two-thread policies rely on. Arbitration disciplines (rotating
+    /// grant pointers, usage banning) override this to skip contexts
+    /// that are busy or ineligible; the machine falls back to the
+    /// rotation whenever the pick is absent or out of range, so a buggy
+    /// policy degrades to round-robin instead of wedging the core.
+    fn pick_next(&mut self, current: ThreadId, threads: usize, now: Cycle) -> Option<ThreadId> {
+        let _ = (current, threads, now);
+        None
+    }
+
+    /// The measurement window starts at `now`: warmup is over and the
+    /// machine's statistics were just reset. Policies drop per-window
+    /// accounting here (recorded history, conservation counters) so that
+    /// post-run oracles see exactly the measured window; long-lived
+    /// arbitration state (grant pointers, deficits) should survive.
+    /// Default: no-op.
+    fn on_measure_start(&mut self, now: Cycle) {
+        let _ = now;
+    }
+
     /// The next cycle at or after `now` at which
     /// [`SwitchPolicy::each_cycle`] could do anything — return `Switch`
     /// or mutate policy state (a Δ-window recalculation, a cycle-quota
@@ -207,5 +233,13 @@ mod tests {
             SwitchDecision::Continue
         );
         assert_eq!(p.each_cycle(ThreadId::new(0), 10), SwitchDecision::Continue);
+    }
+
+    #[test]
+    fn default_pick_next_defers_to_machine_rotation() {
+        let mut p = SwitchOnEvent::new();
+        assert_eq!(p.pick_next(ThreadId::new(0), 4, 10), None);
+        // on_measure_start is a no-op by default — just must not panic.
+        p.on_measure_start(10);
     }
 }

@@ -1,6 +1,7 @@
 //! Extending the system: implement a custom switch policy against the
-//! simulator's `SwitchPolicy` trait and compare it with the paper's
-//! mechanism.
+//! simulator's `SwitchPolicy` trait, register it in the policy registry,
+//! and compare it with the paper's mechanism through the same runner
+//! every registered discipline uses.
 //!
 //! The custom policy here is *round-robin with a retirement budget*: each
 //! thread may retire at most N instructions per turn — a plausible-sounding
@@ -11,7 +12,8 @@
 //! cargo run --release --example custom_policy
 //! ```
 
-use soe_repro::core::runner::{run_pair, run_pair_with_policy, run_singles, RunConfig};
+use soe_repro::core::runner::{run_singles, try_run_multi_named, RunConfig};
+use soe_repro::core::{PolicyError, PolicyFactory, PolicySpec};
 use soe_repro::model::FairnessLevel;
 use soe_repro::sim::{Cycle, SwitchDecision, SwitchPolicy, ThreadId};
 use soe_repro::workloads::Pair;
@@ -52,6 +54,7 @@ impl SwitchPolicy for RetirementBudget {
 
 fn main() {
     let pair = Pair { a: "art", b: "eon" };
+    let roster = [pair.a, pair.b];
     let cfg = RunConfig::quick();
     let singles = run_singles(&pair, &cfg);
     println!(
@@ -61,36 +64,67 @@ fn main() {
         singles[1].ipc_st
     );
 
+    // Register the custom discipline alongside the built-ins. The builder
+    // derives its budget from the registry's uniform F→knob translation
+    // (the same instruction quantum `wdrr` uses), so `F` sweeps the
+    // budget exactly as it sweeps every other discipline's aggressiveness.
+    let mut factory = PolicyFactory::builtin();
+    factory
+        .register("retire-budget", |spec: &PolicySpec| {
+            Ok(Box::new(RetirementBudget::new(
+                spec.quantum_instructions().max(1.0) as u64
+            )) as Box<dyn SwitchPolicy>)
+        })
+        .expect("the name is free");
+
+    // Registering a taken name is a typed error, not a silent overwrite.
+    let dup = factory.register("retire-budget", |_spec: &PolicySpec| {
+        unreachable!("never built")
+    });
+    assert!(matches!(dup, Err(PolicyError::Duplicate { .. })));
+
+    // An unregistered name is a typed error, not a panic — and it names
+    // the alternatives.
+    let mut sizing = cfg.fairness;
+    sizing.target = FairnessLevel::HALF;
+    let spec = PolicySpec::new(roster.len(), FairnessLevel::HALF, sizing);
+    match factory.build("no-such-policy", &spec) {
+        Err(PolicyError::Unknown { name, known }) => {
+            println!("build({name:?}) -> unknown policy; registered: {known:?}\n");
+        }
+        Err(other) => panic!("expected PolicyError::Unknown, got {other}"),
+        Ok(_) => panic!("an unregistered name must not build"),
+    }
+
     println!(
-        "{:<22} {:>10} {:>9} {:>12} {:>12}",
-        "policy", "IPC_SOE", "fairness", "speedup[a]", "speedup[b]"
+        "{:<22} {:>6} {:>10} {:>9} {:>12} {:>12}",
+        "policy", "F", "IPC_SOE", "fairness", "speedup[a]", "speedup[b]"
     );
-    let show = |r: &soe_repro::core::PairRun| {
+    let show = |f: FairnessLevel, r: &soe_repro::core::PairRun| {
         println!(
-            "{:<22} {:>10.3} {:>9.3} {:>12.3} {:>12.3}",
-            r.policy, r.throughput, r.fairness, r.threads[0].speedup, r.threads[1].speedup
+            "{:<22} {:>6} {:>10.3} {:>9.3} {:>12.3} {:>12.3}",
+            r.policy,
+            f.label(),
+            r.throughput,
+            r.fairness,
+            r.threads[0].speedup,
+            r.threads[1].speedup
         );
     };
 
-    // The custom policy at several budgets...
-    for budget in [500, 2_000, 10_000] {
-        let r = run_pair_with_policy(
-            &pair,
-            Box::new(RetirementBudget::new(budget)),
-            &singles,
-            &cfg,
-            None,
-        );
-        show(&r);
-    }
-    // ...versus the paper's mechanism.
+    // Every registered discipline — the custom one included — through
+    // the same runner, at matched aggressiveness.
     for f in [FairnessLevel::NONE, FairnessLevel::HALF] {
-        let r = run_pair(&pair, f, &singles, &cfg);
-        show(&r);
+        for name in factory.names() {
+            let r = try_run_multi_named(&factory, &name, &roster, f, &singles, &cfg)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            show(f, &r);
+        }
+        println!();
     }
 
     println!(
-        "\nEqual retirement budgets equalize instruction *counts*, so the missy thread\n\
+        "Equal retirement budgets equalize instruction *counts*, so the missy thread\n\
          (which needs more wall-clock per instruction) is still slowed far more than\n\
          the compute thread. The mechanism instead equalizes *slowdowns*, because its\n\
          quota is proportional to each thread's estimated stand-alone IPC (Eq 9)."
