@@ -2,9 +2,14 @@
 //!
 //! Measures how fast the simulator runs on the host (Msim-cycles/s and
 //! retired KIPS) over a fixed, deterministic workload roster, and
-//! writes the measurements as `BENCH_5.json` for cross-commit
+//! writes the measurements as `BENCH_10.json` for cross-commit
 //! comparison. Simulated results are untouched by definition: the
 //! roster reuses the ordinary runners; only wall-clock is added.
+//!
+//! `--profile` switches to a diagnostic mode that runs the roster once
+//! on directly-constructed machines and reports the event calendar's
+//! per-kind counters (scheduled, dispatched, superseded) plus dispatch
+//! rates — the observability window into the discrete-event core.
 //!
 //! Host timing (`std::time::Instant`) is allowed here — soe-lint bans
 //! it in the `sim`/`core` crates so simulated behaviour can never
@@ -34,7 +39,7 @@
 //! the roster. Compare two commits by checking out each, running
 //! `cargo run --release --bin perf`, and diffing `msim_cycles_per_s`;
 //! the harness also prints an informational comparison against the
-//! committed `BENCH_5.json` (or `--baseline PATH`) when one exists.
+//! committed `BENCH_10.json` (or `--baseline PATH`) when one exists.
 
 use std::time::Instant;
 
@@ -44,17 +49,23 @@ use soe_model::FairnessLevel;
 use soe_workloads::pairs::{paper_pairs, Pair};
 
 const SCHEMA: &str = "soe-perf/v1";
-const DEFAULT_OUT: &str = "BENCH_5.json";
+const DEFAULT_OUT: &str = "BENCH_10.json";
 
 const USAGE: &str = "\
 soe-perf: host-throughput benchmark over a fixed workload roster
 
 USAGE: perf [--quick] [--repeats N] [--out PATH] [--baseline PATH]
+            [--gate PCT] [--profile]
 
   --quick          1 repeat per roster entry (CI sizing; default 3)
   --repeats N      explicit repeat count (minimum wall time wins)
-  --out PATH       where to write the JSON report (default BENCH_5.json)
-  --baseline PATH  compare against this report (default BENCH_5.json)";
+  --out PATH       where to write the JSON report (default BENCH_10.json)
+  --baseline PATH  compare against this report (default BENCH_10.json)
+  --gate PCT       exit nonzero unless roster totals are within ±PCT%
+                   of the baseline (the CI regression gate); requires
+                   a readable baseline report
+  --profile        report per-event-kind calendar counters over the
+                   roster instead of measuring throughput (no JSON)";
 
 /// One measured roster entry (also reused for the roster totals).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -132,6 +143,8 @@ fn main() {
     let mut repeats: usize = 3;
     let mut out = DEFAULT_OUT.to_string();
     let mut baseline = DEFAULT_OUT.to_string();
+    let mut profile = false;
+    let mut gate: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -140,6 +153,7 @@ fn main() {
                 return;
             }
             "--quick" => repeats = 1,
+            "--profile" => profile = true,
             "--repeats" => {
                 let v = args
                     .next()
@@ -147,6 +161,19 @@ fn main() {
                 repeats = v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
                     die(&format!("--repeats expects a positive count, got {v:?}"))
                 });
+            }
+            "--gate" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--gate needs a percentage"));
+                gate = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&p: &f64| p > 0.0)
+                        .unwrap_or_else(|| {
+                            die(&format!("--gate expects a positive percentage, got {v:?}"))
+                        }),
+                );
             }
             "--out" => out = args.next().unwrap_or_else(|| die("--out needs a path")),
             "--baseline" => {
@@ -161,6 +188,11 @@ fn main() {
     let previous = load_report(&baseline);
     let cfg = RunConfig::quick();
     let pairs = paper_pairs();
+
+    if profile {
+        run_calendar_profile(&pairs, &cfg);
+        return;
+    }
 
     // The fixed roster: two contrasting single-thread workloads
     // (memory-bound swim, branchy gcc) and two SOE pairs at F = 0 and
@@ -246,6 +278,110 @@ fn main() {
     match soe_core::atomic_write(std::path::Path::new(&out), json.as_bytes()) {
         Ok(()) => println!("\nwrote {out}"),
         Err(e) => die(&format!("writing {out}: {e}")),
+    }
+
+    if let Some(tol) = gate {
+        let old = previous
+            .as_ref()
+            .map(|p| p.totals.msim_cycles_per_s)
+            .unwrap_or_else(|| {
+                die(&format!(
+                    "--gate needs a readable {SCHEMA} baseline at {baseline}"
+                ))
+            });
+        let delta = (report.totals.msim_cycles_per_s / old - 1.0) * 100.0;
+        if delta < -tol {
+            die(&format!(
+                "gate: totals {delta:+.1}% vs baseline {old:.2} Msim-cycles/s \
+                 breaches the -{tol}% floor — performance regression"
+            ));
+        }
+        if delta > tol {
+            die(&format!(
+                "gate: totals {delta:+.1}% vs baseline {old:.2} Msim-cycles/s \
+                 breaches the +{tol}% ceiling — rebaseline {baseline} so the \
+                 gate keeps measuring against the current engine"
+            ));
+        }
+        println!("gate: totals {delta:+.1}% vs baseline, within ±{tol}%");
+    }
+}
+
+/// `--profile`: runs the measurement roster once on directly
+/// constructed machines and prints the event calendar's per-kind
+/// counters — how many entries each kind scheduled, how many the
+/// machine actually dispatched, how many were superseded by a
+/// tighter reschedule before coming due, and the dispatch rate per
+/// thousand simulated cycles. Purely diagnostic: no JSON is written
+/// and no wall-clock is measured.
+fn run_calendar_profile(pairs: &[Pair], cfg: &RunConfig) {
+    use soe_core::{FairnessConfig, FairnessPolicy};
+    use soe_sim::calendar::ALL_KINDS;
+    use soe_sim::{Machine, NeverSwitch, TraceSource};
+
+    let cycles = cfg.warmup_cycles + cfg.measure_cycles;
+    println!("soe-perf --profile: calendar counters over {cycles} cycles per entry\n");
+
+    let mut machines: Vec<(String, Machine)> = Vec::new();
+    for label in ["swim:bzip2", "gcc:eon"] {
+        let p = find_pair(pairs, label);
+        let (a, _) = p.traces();
+        let trace: Box<dyn TraceSource> = Box::new(a);
+        machines.push((
+            format!("single:{}", p.a),
+            Machine::new(cfg.machine, vec![trace], Box::new(NeverSwitch::new())),
+        ));
+    }
+    for (label, f) in [
+        ("gcc:eon", FairnessLevel::NONE),
+        ("art:eon", FairnessLevel::HALF),
+    ] {
+        let p = find_pair(pairs, label);
+        let fairness = FairnessConfig {
+            target: f,
+            ..cfg.fairness
+        };
+        let policy = FairnessPolicy::new(2, fairness);
+        machines.push((
+            format!("pair:{}@{}", p.label(), f.label()),
+            Machine::new(cfg.machine, p.boxed_traces(), Box::new(policy)),
+        ));
+    }
+
+    for (name, mut m) in machines {
+        m.try_run_cycles(cycles, cfg.stall_window)
+            .unwrap_or_else(|e| die(&format!("profile {name}: {e}")));
+        let stats = m.calendar_stats();
+        println!("  {name}");
+        println!(
+            "    {:<14} {:>10} {:>11} {:>11} {:>12}",
+            "kind", "scheduled", "dispatched", "superseded", "disp/1k-cyc"
+        );
+        let (mut sch, mut dis, mut sup) = (0u64, 0u64, 0u64);
+        // ALL_KINDS is declared in rank order, so the enumeration
+        // index doubles as the `kinds` table index.
+        for (rank, kind) in ALL_KINDS.into_iter().enumerate() {
+            let k = stats.kinds[rank];
+            sch += k.scheduled;
+            dis += k.dispatched;
+            sup += k.superseded;
+            println!(
+                "    {:<14} {:>10} {:>11} {:>11} {:>12.3}",
+                kind.name(),
+                k.scheduled,
+                k.dispatched,
+                k.superseded,
+                k.dispatched as f64 * 1000.0 / cycles as f64,
+            );
+        }
+        println!(
+            "    {:<14} {:>10} {:>11} {:>11} {:>12.3}\n",
+            "total",
+            sch,
+            dis,
+            sup,
+            dis as f64 * 1000.0 / cycles as f64,
+        );
     }
 }
 

@@ -18,14 +18,18 @@ use crate::lexer::{Token, TokenKind};
 use crate::workspace::Workspace;
 
 /// The functions the simulator cannot afford to have panic or drift:
-/// the cycle-level hot loop, the pair/scenario runners, the service
+/// the cycle-level hot loop, the event-calendar dispatch loop and its
+/// handlers (`Machine::step` pops entries, `schedule_wake_events`
+/// schedules every live wake source, `event_valid` revalidates popped
+/// entries against live state), the pair/scenario runners, the service
 /// dispatch entry points, and every `FairnessPolicy` tick. Panic
 /// reachability is computed from these. `lookup` resolves each name;
 /// the pass reports a configuration error if one stops resolving (so a
 /// rename cannot silently empty the analysis — see the self-check).
 pub const HOT_PATH_ROOTS: &[&str] = &[
     "Machine::step",
-    "Machine::next_event",
+    "Machine::schedule_wake_events",
+    "Machine::event_valid",
     "run_pair_with_policy",
     "serve",
     "run_scenario",
@@ -56,6 +60,13 @@ pub const SERIALIZATION_SINKS: &[&str] = &[
     "SloReport::build",
     "full_results",
 ];
+
+/// Functions that decide *when simulated events happen*: the global
+/// event calendar's scheduling entry points. A nondeterministic value
+/// reaching one of these perturbs dispatch order — and through it every
+/// downstream artifact — even if no serializer ever sees the value
+/// directly, so they are determinism-taint sinks of their own kind.
+pub const ORDERING_SINKS: &[&str] = &["Calendar::schedule", "Machine::schedule_wake_events"];
 
 /// Enums whose variants are a serialization schema: every exporter or
 /// validator `match` that dispatches on them must handle all variants,
@@ -125,7 +136,8 @@ pub fn all_passes() -> Vec<Pass> {
             severity: Severity::Error,
             description: "no nondeterminism source (wall clock, env, hash iteration, \
                           thread ids) may flow through the call graph into journal/\
-                          trace/metrics/SLO/ResultSet serialization",
+                          trace/metrics/SLO/ResultSet serialization or into event-\
+                          calendar scheduling (which sets simulated dispatch order)",
             check: check_determinism_taint,
         },
         Pass {
@@ -299,25 +311,40 @@ fn taint_sources(ws: &Workspace, idx: usize) -> Vec<(String, u32)> {
 fn check_determinism_taint(ws: &Workspace, pass: &Pass) -> Vec<Finding> {
     let mut out = Vec::new();
     // Resolve sinks; an unresolvable sink is a configuration error for
-    // the same reason an unresolvable root is.
-    let mut sink_idx: Vec<usize> = Vec::new();
-    for name in SERIALIZATION_SINKS {
-        let hits = ws.lookup(name);
-        if hits.is_empty() {
-            out.push(pass.finding(
-                "crates/lint/src/passes.rs",
-                1,
-                format!(
-                    "serialization sink `{name}` does not resolve to any workspace \
-                     symbol (renamed or removed?) — the taint analysis is incomplete"
-                ),
-                "update SERIALIZATION_SINKS in crates/lint/src/passes.rs",
-                Vec::new(),
-            ));
+    // the same reason an unresolvable root is. Each resolved index
+    // remembers which list it came from so the finding can say whether
+    // the taint reaches serialized bytes or event ordering.
+    let mut sink_idx: Vec<(usize, &'static str)> = Vec::new();
+    for (list, label, fix_hint) in [
+        (
+            SERIALIZATION_SINKS,
+            "serialization",
+            "update SERIALIZATION_SINKS in crates/lint/src/passes.rs",
+        ),
+        (
+            ORDERING_SINKS,
+            "event-ordering",
+            "update ORDERING_SINKS in crates/lint/src/passes.rs",
+        ),
+    ] {
+        for name in list {
+            let hits = ws.lookup(name);
+            if hits.is_empty() {
+                out.push(pass.finding(
+                    "crates/lint/src/passes.rs",
+                    1,
+                    format!(
+                        "{label} sink `{name}` does not resolve to any workspace \
+                         symbol (renamed or removed?) — the taint analysis is incomplete"
+                    ),
+                    fix_hint,
+                    Vec::new(),
+                ));
+            }
+            sink_idx.extend(hits.into_iter().map(|i| (i, label)));
         }
-        sink_idx.extend(hits);
     }
-    let is_sink = |i: usize| sink_idx.contains(&i);
+    let is_sink = |i: usize| sink_idx.iter().find(|(s, _)| *s == i).map(|&(_, l)| l);
 
     for src_fn in 0..ws.fns.len() {
         let sources = taint_sources(ws, src_fn);
@@ -335,20 +362,20 @@ fn check_determinism_taint(ws: &Workspace, pass: &Pass) -> Vec<Finding> {
         visited[src_fn] = true;
         queue.push_back(src_fn);
         // The flow that fires: (entry fn holding tainted data, the sink
-        // it feeds, Some(call line) when the entry passes into the sink
-        // rather than being the sink).
-        let mut flow: Option<(usize, usize, Option<u32>)> = None;
+        // it feeds, the sink's kind label, Some(call line) when the
+        // entry passes into the sink rather than being the sink).
+        let mut flow: Option<(usize, usize, &'static str, Option<u32>)> = None;
         'bfs: while let Some(f) = queue.pop_front() {
             // The source fn itself being a sink (a wall-clock read in a
             // serializer's own body) is the tightest possible flow.
-            if is_sink(f) {
-                flow = Some((f, f, None));
+            if let Some(label) = is_sink(f) {
+                flow = Some((f, f, label, None));
                 break 'bfs;
             }
             // A tainted fn handing data into a sink it calls.
             for e in &ws.callees[f] {
-                if is_sink(e.to) {
-                    flow = Some((f, e.to, Some(e.line)));
+                if let Some(label) = is_sink(e.to) {
+                    flow = Some((f, e.to, label, Some(e.line)));
                     break 'bfs;
                 }
             }
@@ -360,7 +387,7 @@ fn check_determinism_taint(ws: &Workspace, pass: &Pass) -> Vec<Finding> {
                 }
             }
         }
-        let Some((entry, sink, via)) = flow else {
+        let Some((entry, sink, sink_label, via)) = flow else {
             continue;
         };
         // Trail: sink end first, then the call chain down to the source.
@@ -370,7 +397,7 @@ fn check_determinism_taint(ws: &Workspace, pass: &Pass) -> Vec<Finding> {
                 file: ws.path_of(entry).to_string(),
                 line,
                 note: format!(
-                    "`{}` passes data into sink `{}`",
+                    "`{}` passes data into {sink_label} sink `{}`",
                     ws.fns[entry].item.qualified(),
                     ws.fns[sink].item.qualified()
                 ),
@@ -380,7 +407,7 @@ fn check_determinism_taint(ws: &Workspace, pass: &Pass) -> Vec<Finding> {
                 file: ws.path_of(sink).to_string(),
                 line: ws.fns[sink].item.line,
                 note: format!(
-                    "sink `{}` serializes while tainted",
+                    "{sink_label} sink `{}` runs while tainted",
                     ws.fns[sink].item.qualified()
                 ),
             });
@@ -404,13 +431,14 @@ fn check_determinism_taint(ws: &Workspace, pass: &Pass) -> Vec<Finding> {
                 line,
                 format!(
                     "nondeterminism source {what} in `{}` can flow into \
-                     serialization sink `{}`",
+                     {sink_label} sink `{}`",
                     ws.fns[src_fn].item.qualified(),
                     ws.fns[sink].item.qualified()
                 ),
                 "derive the value deterministically (cycle counter, seed, ordered \
-                 container), keep it out of serialized artifacts, or allow at the \
-                 source with the reason the bytes stay stable",
+                 container), keep it out of serialized artifacts and event \
+                 scheduling, or allow at the source with the reason the bytes \
+                 stay stable",
                 trail.clone(),
             ));
         }
@@ -730,7 +758,12 @@ mod tests {
         vec![
             (
                 "crates/sim/src/core.rs",
-                "impl Machine { fn step(&mut self) { } fn next_event(&self) { } }",
+                "impl Machine { fn step(&mut self) { } fn schedule_wake_events(&mut self) { } \
+                 fn event_valid(&self) { } }",
+            ),
+            (
+                "crates/sim/src/calendar.rs",
+                "impl Calendar { fn schedule(&mut self) { } }",
             ),
             (
                 "crates/core/src/runner.rs",
@@ -785,7 +818,8 @@ mod tests {
         let mut files = scaffold();
         files[0] = (
             "crates/sim/src/core.rs",
-            "impl Machine { fn step(&mut self) { tally(1); } fn next_event(&self) { } }",
+            "impl Machine { fn step(&mut self) { tally(1); } \
+             fn schedule_wake_events(&mut self) { } fn event_valid(&self) { } }",
         );
         files.push((
             "crates/stats/src/lib.rs",
@@ -832,7 +866,7 @@ mod tests {
         assert!(f.message.contains("`Instant::now`"));
         assert!(f.message.contains("`full_results`"));
         let notes: Vec<&str> = f.trail.iter().map(|s| s.note.as_str()).collect();
-        assert!(notes[0].contains("passes data into sink `full_results`"));
+        assert!(notes[0].contains("passes data into serialization sink `full_results`"));
         assert!(notes[1].contains("`collect` calls `stamp`"));
     }
 
@@ -850,7 +884,11 @@ mod tests {
     #[test]
     fn tainted_sink_body_is_reported() {
         let mut files = scaffold();
-        files[3] = (
+        let sinks = files
+            .iter()
+            .position(|(p, _)| *p == "crates/core/src/sinks.rs")
+            .unwrap();
+        files[sinks] = (
             "crates/core/src/sinks.rs",
             "impl Journal { fn append(&mut self) { let t = now_ms(); } }\n\
              impl MetricsRegistry { fn to_csv(&self) {} }\n\
@@ -970,6 +1008,28 @@ mod tests {
         let fs = run(&w, "unordered-iteration");
         assert_eq!(fs.len(), 1);
         assert_eq!(fs[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn taint_into_calendar_scheduling_is_an_ordering_flow() {
+        let mut files = scaffold();
+        files.push((
+            "crates/sim/src/backend/wake.rs",
+            "fn jitter() -> u64 { let t = Instant::now(); 0 }\n\
+             fn wake(cal: &mut Calendar) { let j = jitter(); cal.schedule(); }",
+        ));
+        let w = ws(&files);
+        let fs = run(&w, "determinism-taint");
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        let f = &fs[0];
+        assert!(
+            f.message
+                .contains("event-ordering sink `Calendar::schedule`"),
+            "{}",
+            f.message
+        );
+        let notes: Vec<&str> = f.trail.iter().map(|s| s.note.as_str()).collect();
+        assert!(notes[0].contains("passes data into event-ordering sink"));
     }
 
     #[test]

@@ -5,15 +5,15 @@
 //! of derived state incrementally, so the per-cycle pipeline stages
 //! never need an O(ROB) scan:
 //!
-//! * a completion calendar (`completions`) mapping each pending
-//!   completion cycle to the entries finishing then, which makes
-//!   "what completes now?" ([`Rob::complete_until`]) and "when does the
-//!   next thing complete?" ([`Rob::earliest_completion`]) cheap — the
-//!   latter is what the machine's quiescent fast-forward polls every
-//!   stalled cycle;
+//! * a completion heap (`completions`) of `(completion cycle, stream
+//!   position)` pairs, which makes "what completes now?"
+//!   ([`Rob::complete_until`]) and "when does the next thing
+//!   complete?" ([`Rob::earliest_completion`]) cheap — the latter
+//!   feeds the machine's event calendar as the `RobComplete` wake
+//!   source;
 //! * occupancy counters (waiting / loads / stores) for rename-stage
 //!   resource checks ([`Rob::occupancy`]);
-//! * an issue-candidate tracker — a retry queue plus a retry calendar
+//! * an issue-candidate tracker — a retry queue plus a retry heap
 //!   keyed by each blocked entry's proven earliest-readiness cycle
 //!   ([`RobEntry::not_before`], recorded via [`Rob::defer_issue`]) — so
 //!   the issue scan ([`Rob::collect_issue_candidates`]) examines only
@@ -27,7 +27,8 @@
 //!   and [`Rob::squash`] so the derived state cannot drift from the
 //!   entries. Entry state is therefore read-only from the outside.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::types::{Cycle, InstrIndex};
 use crate::uop::{Uop, UopKind};
@@ -96,13 +97,10 @@ pub struct Rob {
     head_index: InstrIndex,
     entries: VecDeque<RobEntry>,
     capacity: usize,
-    /// Completion calendar: pending completion cycle → stream positions
-    /// of the `Executing` entries that finish then. Every `Executing`
-    /// entry has exactly one slot here, keyed by its completion cycle.
-    completions: BTreeMap<Cycle, Vec<InstrIndex>>,
-    /// Drained calendar buckets kept for reuse, so steady-state
-    /// execution does not allocate per completion cycle.
-    free_buckets: Vec<Vec<InstrIndex>>,
+    /// Completion heap: `(completion cycle, stream position)` of every
+    /// `Executing` entry, min-first. Every `Executing` entry has exactly
+    /// one slot here; squash empties it, so no stale entry survives.
+    completions: BinaryHeap<Reverse<(Cycle, InstrIndex)>>,
     /// Number of entries in `EntryState::Waiting`.
     waiting: usize,
     /// Number of in-flight loads (any state).
@@ -113,14 +111,12 @@ pub struct Rob {
     /// unordered superset of the issuable `Waiting` entries, pruned and
     /// sorted by [`Rob::collect_issue_candidates`].
     retry_q: Vec<InstrIndex>,
-    /// Retry calendar: proven earliest-readiness cycle → blocked
-    /// `Waiting` entries whose bound expires then (the calendar twin of
-    /// `completions`). Buckets drain back into `retry_q` on expiry.
-    deferred: BTreeMap<Cycle, Vec<InstrIndex>>,
+    /// Retry heap: `(proven earliest-readiness cycle, stream position)`
+    /// of blocked `Waiting` entries, min-first (the heap twin of
+    /// `completions`). Entries drain back into `retry_q` on expiry.
+    deferred: BinaryHeap<Reverse<(Cycle, InstrIndex)>>,
     /// Stream positions of in-flight stores, oldest first.
     store_indices: VecDeque<InstrIndex>,
-    /// Reusable buffer for draining waiter chains into the calendar.
-    wake_scratch: Vec<InstrIndex>,
 }
 
 /// Why a `Waiting` entry cannot issue yet, as determined by
@@ -148,15 +144,13 @@ impl Rob {
             head_index: 0,
             entries: VecDeque::with_capacity(capacity),
             capacity,
-            completions: BTreeMap::new(),
-            free_buckets: Vec::new(),
+            completions: BinaryHeap::with_capacity(capacity),
             waiting: 0,
             loads: 0,
             stores: 0,
             retry_q: Vec::with_capacity(capacity),
-            deferred: BTreeMap::new(),
+            deferred: BinaryHeap::with_capacity(capacity),
             store_indices: VecDeque::new(),
-            wake_scratch: Vec::new(),
         }
     }
 
@@ -274,11 +268,7 @@ impl Rob {
         e.mem_pending = mem_pending;
         let waiters = e.waiters_head.take();
         self.waiting -= 1;
-        let free = &mut self.free_buckets;
-        self.completions
-            .entry(done)
-            .or_insert_with(|| free.pop().unwrap_or_default())
-            .push(index);
+        self.completions.push(Reverse((done, index)));
         // The issue's completion cycle is now known: everything parked
         // on this entry moves to the retry calendar at that cycle (its
         // result cannot be available sooner).
@@ -288,34 +278,27 @@ impl Rob {
         true
     }
 
-    /// Moves an intrusive waiter chain into the retry-calendar bucket
-    /// for cycle `at`.
+    /// Moves an intrusive waiter chain into the retry heap at cycle
+    /// `at`.
     fn wake_waiters(&mut self, mut next: Option<InstrIndex>, at: Cycle) {
-        let mut woken = std::mem::take(&mut self.wake_scratch);
         while let Some(c) = next {
             next = None;
             if let Some(off) = c.checked_sub(self.head_index) {
                 if let Some(e) = self.entries.get_mut(off as usize) {
                     next = e.next_waiter.take();
                     e.not_before = at;
-                    woken.push(c);
+                    self.deferred.push(Reverse((at, c)));
                 }
             }
         }
-        let free = &mut self.free_buckets;
-        self.deferred
-            .entry(at)
-            .or_insert_with(|| free.pop().unwrap_or_default())
-            .append(&mut woken);
-        self.wake_scratch = woken;
     }
 
     /// The earliest pending completion cycle, if anything is executing —
-    /// O(log buckets), no entry scan. This is the value the old
-    /// full-ROB `next_event` scan computed; a debug assertion in
-    /// [`Rob::complete_until`] cross-checks the two.
+    /// O(1), no entry scan. This is the value a full-ROB scan would
+    /// compute; a debug assertion in [`Rob::complete_until`]
+    /// cross-checks the two.
     pub fn earliest_completion(&self) -> Option<Cycle> {
-        self.completions.keys().next().copied()
+        self.completions.peek().map(|&Reverse((c, _))| c)
     }
 
     /// Marks every entry whose completion cycle is `<= now` as `Done`
@@ -327,30 +310,25 @@ impl Rob {
         #[cfg(debug_assertions)]
         self.assert_tracker_matches_scan();
         let mut progress = false;
-        while let Some((&done, _)) = self.completions.first_key_value() {
+        while let Some(&Reverse((done, index))) = self.completions.peek() {
             if done > now {
                 break;
             }
-            let Some((_, mut bucket)) = self.completions.pop_first() else {
-                break;
+            self.completions.pop();
+            // Heap entries are cleared on squash, so the entry is
+            // always present; the guards keep this panic-free.
+            let Some(off) = index.checked_sub(self.head_index) else {
+                continue;
             };
-            for index in bucket.drain(..) {
-                // Calendar entries are removed on squash, so the entry
-                // is always present; the guards keep this panic-free.
-                let Some(off) = index.checked_sub(self.head_index) else {
-                    continue;
-                };
-                let Some(e) = self.entries.get_mut(off as usize) else {
-                    continue;
-                };
-                e.state = EntryState::Done;
-                e.mem_pending = false;
-                progress = true;
-                if e.mispredicted {
-                    resolved.push(index);
-                }
+            let Some(e) = self.entries.get_mut(off as usize) else {
+                continue;
+            };
+            e.state = EntryState::Done;
+            e.mem_pending = false;
+            progress = true;
+            if e.mispredicted {
+                resolved.push(index);
             }
-            self.free_buckets.push(bucket);
         }
         if resolved.len() > 1 {
             resolved.sort_unstable();
@@ -405,7 +383,7 @@ impl Rob {
             .retry_q
             .iter()
             .copied()
-            .chain(self.deferred.values().flatten().copied())
+            .chain(self.deferred.iter().map(|&Reverse((_, i))| i))
             .collect();
         for e in &self.entries {
             let mut w = e.waiters_head;
@@ -475,7 +453,7 @@ impl Rob {
 
     /// Hands the issue scan its candidates for cycle `now`: the retry
     /// queue (fresh dispatches and contention retries) merged with every
-    /// retry-calendar bucket whose readiness bound has expired, pruned
+    /// retry-heap entry whose readiness bound has expired, pruned
     /// of entries that issued or retired, sorted oldest first — exactly
     /// the `Waiting` entries a full scan could possibly issue at `now`.
     /// The queue is drained; the caller returns unexamined or
@@ -484,15 +462,12 @@ impl Rob {
     /// [`Rob::defer_issue`]. Cost is O(candidates), not O(waiting).
     pub fn collect_issue_candidates(&mut self, now: Cycle, out: &mut Vec<InstrIndex>) {
         out.clear();
-        while let Some((&at, _)) = self.deferred.first_key_value() {
+        while let Some(&Reverse((at, index))) = self.deferred.peek() {
             if at > now {
                 break;
             }
-            let Some((_, mut bucket)) = self.deferred.pop_first() else {
-                break;
-            };
-            self.retry_q.append(&mut bucket);
-            self.free_buckets.push(bucket);
+            self.deferred.pop();
+            self.retry_q.push(index);
         }
         let head = self.head_index;
         let entries = &self.entries;
@@ -546,7 +521,7 @@ impl Rob {
     /// Records that entry `index` cannot pass the issue-readiness checks
     /// before cycle `at` — an exact bound the issue stage derives from
     /// the states of the entry's blockers — and parks it in the retry
-    /// calendar until then, keeping it out of every scan in between.
+    /// heap until then, keeping it out of every scan in between.
     pub fn defer_issue(&mut self, index: InstrIndex, at: Cycle) {
         let Some(off) = index.checked_sub(self.head_index) else {
             return;
@@ -555,11 +530,7 @@ impl Rob {
             return;
         };
         e.not_before = at;
-        let free = &mut self.free_buckets;
-        self.deferred
-            .entry(at)
-            .or_insert_with(|| free.pop().unwrap_or_default())
-            .push(index);
+        self.deferred.push(Reverse((at, index)));
     }
 
     /// Like [`Rob::producer_done`] but, when the producer `dist`
@@ -596,7 +567,7 @@ impl Rob {
     /// Parks `consumer` on the intrusive waiter list of the
     /// still-`Waiting` entry `producer`: it leaves the issue scan until
     /// the producer issues, at which point it moves to the retry
-    /// calendar at the producer's completion cycle ­— the earliest its
+    /// heap at the producer's completion cycle ­— the earliest its
     /// operand could possibly be available. Falls back to a plain
     /// next-scan requeue if the producer is not a live waiting entry.
     pub fn park_on_producer(&mut self, consumer: InstrIndex, producer: InstrIndex) {
@@ -638,18 +609,12 @@ impl Rob {
     pub fn squash(&mut self, restart_index: InstrIndex) {
         self.entries.clear();
         self.head_index = restart_index;
-        while let Some((_, mut bucket)) = self.completions.pop_first() {
-            bucket.clear();
-            self.free_buckets.push(bucket);
-        }
+        self.completions.clear();
         self.waiting = 0;
         self.loads = 0;
         self.stores = 0;
         self.retry_q.clear();
-        while let Some((_, mut bucket)) = self.deferred.pop_first() {
-            bucket.clear();
-            self.free_buckets.push(bucket);
-        }
+        self.deferred.clear();
         self.store_indices.clear();
     }
 
@@ -813,5 +778,30 @@ mod tests {
         assert_eq!(head.state, EntryState::Done);
         assert!(!head.mem_pending);
         assert!(resolved.is_empty(), "not mispredicted");
+    }
+
+    #[test]
+    fn candidates_reappear_until_issued_or_bounded() {
+        let mut rob = Rob::new(4);
+        rob.push(0, alu(0), false);
+        rob.push(1, alu(4), false);
+        let mut out = Vec::new();
+        rob.collect_issue_candidates(0, &mut out);
+        assert_eq!(out, vec![0, 1]);
+        // Unissued candidates are handed back by the issue stage.
+        rob.requeue_issue_candidate(0);
+        rob.requeue_issue_candidate(1);
+        rob.collect_issue_candidates(1, &mut out);
+        assert_eq!(out, vec![0, 1]);
+        rob.defer_issue(1, 10);
+        rob.requeue_issue_candidate(0);
+        rob.collect_issue_candidates(5, &mut out);
+        assert_eq!(out, vec![0], "bounded entry hidden until its cycle");
+        rob.requeue_issue_candidate(0);
+        rob.collect_issue_candidates(10, &mut out);
+        assert_eq!(out, vec![0, 1], "bound expired");
+        assert!(rob.set_executing(0, 3, false));
+        rob.collect_issue_candidates(10, &mut out);
+        assert_eq!(out, vec![1], "issued entry left the scan");
     }
 }

@@ -1,0 +1,281 @@
+//! The global event calendar: the machine's single source of "when can
+//! anything happen next".
+//!
+//! Every wake source in the machine — ROB completions, front-end
+//! refills and fetch resumes (which carry cache-fill and bus-grant
+//! timestamps, since the hierarchy is timestamp-passing), store-buffer
+//! drains, switch drain completions, and scheduled switch-policy
+//! decisions — is a [`CalendarEvent`] kind. When the machine quiesces,
+//! it schedules the live wake time of each source; `Machine::step` then
+//! pops the earliest entry, advances `now` to it, and dispatches — no
+//! per-cycle polling of quiescent components.
+//!
+//! # Ordering and determinism
+//!
+//! Entries are keyed `(cycle, kind rank, sequence)`: dispatch order is
+//! nondecreasing in cycle, and same-cycle ties break first on the fixed
+//! [`CalendarEvent`] declaration order, then on insertion sequence —
+//! both deterministic, neither influenced by wall-clock time or hash
+//! iteration order.
+//!
+//! # Cancellation
+//!
+//! Scheduling is *monotone within a kind*: each kind tracks its most
+//! recently scheduled cycle and re-scheduling the same `(kind, cycle)`
+//! is a no-op, so the heap never accumulates duplicates. Events are
+//! never eagerly removed; an entry obsoleted by a state change (a
+//! squash, a switch, an earlier completion) is *superseded* — the
+//! machine validates each popped entry against live component state and
+//! discards stale ones, counting them. Because every quiesce re-schedules
+//! all live wake sources before popping, discarding a stale entry can
+//! never lose a due event (the `calendar_invariants` proptest pins
+//! this).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::types::Cycle;
+
+/// The kinds of first-class scheduled events. Declaration order is the
+/// same-cycle dispatch priority (lowest first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum CalendarEvent {
+    /// The switch drain completes and the incoming thread takes the
+    /// pipeline. While draining this is the *only* valid event.
+    DrainDone = 0,
+    /// The earliest in-flight ROB entry completes execution (data-cache
+    /// fills and MSHR completions surface here: a load's completion
+    /// timestamp *is* its fill time).
+    RobComplete = 1,
+    /// Fetch resumes after an I-cache/iTLB fill or a redirect penalty
+    /// (instruction-side cache fills and bus grants surface here).
+    FetchResume = 2,
+    /// The front-end pipe delivers fetched micro-ops to rename.
+    FrontReady = 3,
+    /// The store buffer commits its next retired store.
+    StoreDrain = 4,
+    /// A scheduled switch-policy decision point: a Δ-window
+    /// recalculation or a cycle-quota expiry.
+    PolicyDecision = 5,
+}
+
+/// Number of event kinds (array-table size).
+pub const KIND_COUNT: usize = 6;
+
+/// All kinds, in rank order.
+pub const ALL_KINDS: [CalendarEvent; KIND_COUNT] = [
+    CalendarEvent::DrainDone,
+    CalendarEvent::RobComplete,
+    CalendarEvent::FetchResume,
+    CalendarEvent::FrontReady,
+    CalendarEvent::StoreDrain,
+    CalendarEvent::PolicyDecision,
+];
+
+impl CalendarEvent {
+    /// Stable display name (used by `soe-perf --profile`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CalendarEvent::DrainDone => "drain_done",
+            CalendarEvent::RobComplete => "rob_complete",
+            CalendarEvent::FetchResume => "fetch_resume",
+            CalendarEvent::FrontReady => "front_ready",
+            CalendarEvent::StoreDrain => "store_drain",
+            CalendarEvent::PolicyDecision => "policy_decision",
+        }
+    }
+
+    fn rank(self) -> u8 {
+        self as u8
+    }
+
+    fn from_rank(r: u8) -> Self {
+        // soe-lint: allow(slice-index): rank is produced by `rank()` on a fieldless enum of KIND_COUNT variants
+        ALL_KINDS[r as usize]
+    }
+}
+
+/// Per-kind scheduling/dispatch counters, surfaced by
+/// `Machine::calendar_stats` for `soe-perf --profile`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Entries pushed onto the heap (after dedup).
+    pub scheduled: u64,
+    /// Entries popped and dispatched (the machine advanced to them).
+    pub dispatched: u64,
+    /// Entries popped but discarded because live state had moved on
+    /// (lazy cancellation).
+    pub superseded: u64,
+}
+
+/// Aggregate calendar counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CalendarStats {
+    /// Per-kind counters, indexed by [`CalendarEvent`] rank.
+    pub kinds: [KindStats; KIND_COUNT],
+}
+
+impl CalendarStats {
+    /// Total entries dispatched across all kinds.
+    pub fn total_dispatched(&self) -> u64 {
+        self.kinds.iter().map(|k| k.dispatched).sum()
+    }
+
+    /// Total entries superseded across all kinds.
+    pub fn total_superseded(&self) -> u64 {
+        self.kinds.iter().map(|k| k.superseded).sum()
+    }
+
+    /// Total entries scheduled across all kinds.
+    pub fn total_scheduled(&self) -> u64 {
+        self.kinds.iter().map(|k| k.scheduled).sum()
+    }
+}
+
+/// The calendar proper: a min-heap of `(cycle, kind rank, seq)` with
+/// per-kind latest-scheduled dedup and profiling counters.
+#[derive(Debug, Default)]
+pub struct Calendar {
+    heap: BinaryHeap<Reverse<(Cycle, u8, u64)>>,
+    /// Most recently scheduled cycle per kind; `Cycle::MAX` = none
+    /// pending. Guards against duplicate `(kind, cycle)` entries.
+    latest: [Cycle; KIND_COUNT],
+    seq: u64,
+    stats: CalendarStats,
+}
+
+impl Calendar {
+    /// An empty calendar.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            latest: [Cycle::MAX; KIND_COUNT],
+            seq: 0,
+            stats: CalendarStats::default(),
+        }
+    }
+
+    /// Schedules `kind` at `cycle`. Re-scheduling the pending
+    /// `(kind, cycle)` pair is a no-op; a different cycle pushes a new
+    /// entry and leaves the old one to be superseded at pop time.
+    pub fn schedule(&mut self, kind: CalendarEvent, cycle: Cycle) {
+        let slot = kind.rank() as usize;
+        // soe-lint: allow(slice-index): rank of a KIND_COUNT-variant fieldless enum
+        if self.latest[slot] == cycle {
+            return;
+        }
+        // soe-lint: allow(slice-index): rank of a KIND_COUNT-variant fieldless enum
+        self.latest[slot] = cycle;
+        self.heap.push(Reverse((cycle, kind.rank(), self.seq)));
+        self.seq += 1;
+        // soe-lint: allow(slice-index): rank of a KIND_COUNT-variant fieldless enum
+        self.stats.kinds[slot].scheduled += 1;
+    }
+
+    /// The earliest pending entry, if any.
+    pub fn peek(&self) -> Option<(Cycle, CalendarEvent)> {
+        self.heap
+            .peek()
+            .map(|&Reverse((c, r, _))| (c, CalendarEvent::from_rank(r)))
+    }
+
+    /// Pops the earliest entry as dispatched: the machine is advancing
+    /// to it.
+    pub fn dispatch_top(&mut self) {
+        self.pop_top(true);
+    }
+
+    /// Pops the earliest entry as superseded: live state has moved past
+    /// it (lazy cancellation).
+    pub fn discard_top(&mut self) {
+        self.pop_top(false);
+    }
+
+    fn pop_top(&mut self, dispatched: bool) {
+        if let Some(Reverse((cycle, rank, _))) = self.heap.pop() {
+            let slot = rank as usize;
+            // soe-lint: allow(slice-index): rank of a KIND_COUNT-variant fieldless enum
+            if self.latest[slot] == cycle {
+                // The pending entry for this kind left the heap; allow
+                // the same (kind, cycle) to be scheduled again.
+                // soe-lint: allow(slice-index): rank of a KIND_COUNT-variant fieldless enum
+                self.latest[slot] = Cycle::MAX;
+            }
+            // soe-lint: allow(slice-index): rank of a KIND_COUNT-variant fieldless enum
+            let k = &mut self.stats.kinds[slot];
+            if dispatched {
+                k.dispatched += 1;
+            } else {
+                k.superseded += 1;
+            }
+        }
+    }
+
+    /// Number of pending entries (including ones that will be
+    /// superseded).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Scheduling/dispatch counters.
+    pub fn stats(&self) -> &CalendarStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatches_in_cycle_then_rank_order() {
+        let mut c = Calendar::new();
+        c.schedule(CalendarEvent::PolicyDecision, 10);
+        c.schedule(CalendarEvent::RobComplete, 10);
+        c.schedule(CalendarEvent::FetchResume, 5);
+        assert_eq!(c.peek(), Some((5, CalendarEvent::FetchResume)));
+        c.dispatch_top();
+        assert_eq!(c.peek(), Some((10, CalendarEvent::RobComplete)));
+        c.dispatch_top();
+        assert_eq!(c.peek(), Some((10, CalendarEvent::PolicyDecision)));
+    }
+
+    #[test]
+    fn rescheduling_same_cycle_is_deduped() {
+        let mut c = Calendar::new();
+        c.schedule(CalendarEvent::RobComplete, 7);
+        c.schedule(CalendarEvent::RobComplete, 7);
+        c.schedule(CalendarEvent::RobComplete, 7);
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.stats().kinds[CalendarEvent::RobComplete as usize].scheduled,
+            1
+        );
+    }
+
+    #[test]
+    fn rescheduling_after_pop_is_allowed() {
+        let mut c = Calendar::new();
+        c.schedule(CalendarEvent::StoreDrain, 3);
+        c.dispatch_top();
+        c.schedule(CalendarEvent::StoreDrain, 3);
+        assert_eq!(c.peek(), Some((3, CalendarEvent::StoreDrain)));
+    }
+
+    #[test]
+    fn superseded_entries_are_counted_separately() {
+        let mut c = Calendar::new();
+        c.schedule(CalendarEvent::RobComplete, 4);
+        c.schedule(CalendarEvent::RobComplete, 9);
+        c.discard_top();
+        c.dispatch_top();
+        let k = c.stats().kinds[CalendarEvent::RobComplete as usize];
+        assert_eq!((k.scheduled, k.dispatched, k.superseded), (2, 1, 1));
+    }
+}

@@ -243,18 +243,12 @@ pub struct MachineConfig {
     /// Thread-switch machinery.
     pub soe: SoeConfig,
     /// Skip idle cycles when the whole machine is provably quiescent
-    /// (pure simulation speedup; results are identical).
+    /// (pure simulation speedup; results are identical). Scheduled
+    /// switch-policy decision points (Δ-window recalculations,
+    /// cycle-quota expiries) are first-class calendar events, so jumps
+    /// always stop at them: a fast-forwarded run takes every decision at
+    /// the exact cycle a tick-by-tick run would.
     pub fast_forward: bool,
-    /// Treat scheduled switch-policy decision points (Δ-window
-    /// recalculations, cycle-quota expiries) as machine events, so
-    /// fast-forward jumps stop at them and the decisions fire at the
-    /// exact cycle a tick-by-tick run would take them. Off by default:
-    /// jumps historically overshot scheduled decisions to the next
-    /// machine event, and the recorded experiment baselines pin that
-    /// behaviour. Flipping this changes enforced-fairness results and
-    /// requires regenerating goldens.
-    #[serde(default)]
-    pub exact_policy_events: bool,
 }
 
 impl Default for MachineConfig {
@@ -325,7 +319,6 @@ impl Default for MachineConfig {
                 switch_on_l1_miss: false,
             },
             fast_forward: true,
-            exact_policy_events: false,
         }
     }
 }
@@ -397,7 +390,6 @@ impl MachineConfig {
             self.soe.drain_latency,
             self.soe.switch_on_l1_miss,
             self.fast_forward,
-            self.exact_policy_events,
         );
         Ok(())
     }

@@ -10,6 +10,7 @@
 //! predictor state are shared and survive switches.
 
 use crate::backend::{Blocker, EntryState, FuPool, Rob};
+use crate::calendar::{Calendar, CalendarEvent, CalendarStats};
 use crate::config::MachineConfig;
 use crate::config::PredictorKind;
 use crate::error::SimError;
@@ -94,6 +95,14 @@ pub struct Machine {
     scratch_waiting: Vec<InstrIndex>,
     /// Reused buffer for `run_until_retired`'s per-thread targets.
     scratch_targets: Vec<InstrIndex>,
+    /// The global event calendar: every wake source becomes a scheduled
+    /// entry when the machine quiesces, and `step` advances by popping
+    /// the earliest live one (see [`crate::calendar`]).
+    calendar: Calendar,
+    /// The next cycle at which the switch policy can possibly act
+    /// (cached from `next_decision_at`); the per-cycle `each_cycle`
+    /// virtual call is skipped until then. `0` forces re-evaluation.
+    policy_due: Cycle,
 }
 
 impl std::fmt::Debug for Machine {
@@ -152,6 +161,8 @@ impl Machine {
             scratch_resolved: Vec::new(),
             scratch_waiting: Vec::new(),
             scratch_targets: Vec::new(),
+            calendar: Calendar::new(),
+            policy_due: 0,
             cfg,
             traces,
             policy,
@@ -209,7 +220,16 @@ impl Machine {
     /// Mutable access to the switch policy (e.g. to clear recorded
     /// history after warm-up).
     pub fn policy_mut(&mut self) -> &mut dyn SwitchPolicy {
+        // External mutation can move the policy's scheduled decision
+        // points; drop the cached gate so the next tick re-reads them.
+        self.policy_due = 0;
         &mut *self.policy
+    }
+
+    /// Event-calendar scheduling/dispatch counters (see
+    /// [`crate::calendar`]); surfaced by `soe-perf --profile`.
+    pub fn calendar_stats(&self) -> &CalendarStats {
+        self.calendar.stats()
     }
 
     /// Architectural position (committed instruction count) of `tid`,
@@ -409,12 +429,18 @@ impl Machine {
             }
             // `waiting` indexes were read from the ROB this cycle and
             // nothing retires between; a vanished entry is a bug we skip
-            // rather than crash on.
-            let Some(e) = self.rob.get(idx).copied() else {
+            // rather than crash on. Only the issue-relevant uop fields
+            // are extracted — copying the whole entry per candidate is
+            // measurable on the hot path.
+            let Some((kind, src_dist, mem_addr)) = self
+                .rob
+                .get(idx)
+                .map(|e| (e.uop.kind, e.uop.src_dist, e.uop.mem_addr))
+            else {
                 continue;
             };
             let mut blocker = None;
-            for d in e.uop.src_dist {
+            for d in src_dist {
                 if let Some(b) = self.rob.producer_blocker(idx, d, now) {
                     blocker = Some(b);
                     break;
@@ -425,8 +451,12 @@ impl Machine {
             // then forwards. A not-done blocking store blocks the load
             // the same way a producer does.
             let mut forward = false;
-            if blocker.is_none() && e.uop.kind == UopKind::Load {
-                if let Some(st) = self.rob.older_store_to(idx, e.uop.mem_addr()) {
+            if blocker.is_none() && kind == UopKind::Load {
+                if let Some(st) = self.rob.older_store_to(
+                    idx,
+                    // soe-lint: allow(panic-unwrap): a load without an address is a trace-generation bug
+                    mem_addr.expect("memory micro-op must carry an address"),
+                ) {
                     match st.state {
                         EntryState::Done => forward = true,
                         EntryState::Executing(done) => blocker = Some(Blocker::At(done)),
@@ -445,14 +475,15 @@ impl Machine {
                 }
                 None => {}
             }
-            let Some(fu_done) = self.fu.try_issue(e.uop.kind, now) else {
+            let Some(fu_done) = self.fu.try_issue(kind, now) else {
                 blocked_on_fu = true;
                 self.rob.requeue_issue_candidate(idx);
                 continue;
             };
-            let (done, mem_pending) = match e.uop.kind {
+            let (done, mem_pending) = match kind {
                 UopKind::Load => {
-                    let addr = e.uop.mem_addr();
+                    // soe-lint: allow(panic-unwrap): a load without an address is a trace-generation bug
+                    let addr = mem_addr.expect("memory micro-op must carry an address");
                     let t = self.hier.translate_data(fu_done, addr);
                     if forward {
                         // Store-to-load forwarding: data comes from the
@@ -468,7 +499,11 @@ impl Machine {
                     }
                 }
                 UopKind::Store => {
-                    let t = self.hier.translate_data(fu_done, e.uop.mem_addr());
+                    let t = self.hier.translate_data(
+                        fu_done,
+                        // soe-lint: allow(panic-unwrap): a store without an address is a trace-generation bug
+                        mem_addr.expect("memory micro-op must carry an address"),
+                    );
                     (t.complete_at.max(fu_done), t.from_memory)
                 }
                 _ => (fu_done, false),
@@ -589,6 +624,8 @@ impl Machine {
         self.switch_started = Some(now);
         self.stall_reported = None;
         self.issue_quiet = false;
+        // The outgoing thread's scheduled decisions die with the switch.
+        self.policy_due = 0;
     }
 
     fn complete_switch_in(&mut self, next: ThreadId, now: Cycle) {
@@ -600,6 +637,8 @@ impl Machine {
         self.run_started = None;
         self.stall_reported = None;
         self.issue_quiet = false;
+        // `on_switch_in` restarts quota clocks; re-read the schedule.
+        self.policy_due = 0;
         if let Some(t) = &self.tracer {
             t.borrow_mut().emit(now, EventKind::SwitchIn { tid: next });
         }
@@ -643,9 +682,22 @@ impl Machine {
             progress |= self.issue_stage(now);
             progress |= self.rename_stage(now);
             progress |= self.fetch_stage(now);
-            if self.multi() && self.policy.each_cycle(self.current, now) == SwitchDecision::Switch {
-                self.initiate_switch(now, SwitchReason::Forced);
-                progress = true;
+            // The policy gate: `each_cycle` only ever acts at cycles its
+            // own `next_decision_at` announces (Δ recalculations, quota
+            // expiries — the policy-conformance matrix pins this), so
+            // the virtual call is skipped until the cached due cycle.
+            if self.multi() && now >= self.policy_due {
+                if self.policy.each_cycle(self.current, now) == SwitchDecision::Switch {
+                    self.initiate_switch(now, SwitchReason::Forced);
+                    progress = true;
+                } else {
+                    // A decision point reported at `now` was just taken
+                    // (declined); the next distinct one is later.
+                    self.policy_due = self
+                        .policy
+                        .next_decision_at(self.current, now)
+                        .map_or(Cycle::MAX, |c| c.max(now + 1));
+                }
             }
         } else {
             progress = true;
@@ -655,63 +707,111 @@ impl Machine {
         progress
     }
 
-    /// The next cycle at which anything can happen, for fast-forwarding
-    /// over quiescent stalls. `None` means the machine is wedged.
+    /// Schedules every live wake source on the event calendar. Called at
+    /// quiesce time; per-kind dedup makes re-scheduling an unchanged
+    /// source free.
     ///
-    /// O(log ROB): the earliest in-flight completion comes from the
-    /// ROB's incrementally maintained completion calendar instead of a
-    /// full entry scan (a debug assertion in the ROB cross-checks the
-    /// two), and the remaining sources are O(1) front-end and policy
-    /// timestamps.
-    fn next_event(&self) -> Option<Cycle> {
+    /// O(log calendar): the earliest in-flight completion comes from the
+    /// ROB's incrementally maintained completion heap instead of a full
+    /// entry scan (a debug assertion in the ROB cross-checks the two),
+    /// and the remaining sources are O(1) front-end and policy
+    /// timestamps. Cache fills and bus grants need no kinds of their
+    /// own: the hierarchy is timestamp-passing, so they surface as the
+    /// completion/resume timestamps of the accesses that triggered them.
+    fn schedule_wake_events(&mut self) {
         if let CoreState::Draining { until, .. } = self.state {
             // During a drain the stages, the store buffer and the policy
             // are all skipped, so the switch-in is the only event.
-            return Some(until);
+            self.calendar.schedule(CalendarEvent::DrainDone, until);
+            return;
         }
-        let mut next: Option<Cycle> = None;
-        let mut consider = |c: Cycle| {
-            next = Some(next.map_or(c, |n| n.min(c)));
-        };
         if let Some(c) = self.rob.earliest_completion() {
-            consider(c);
+            self.calendar.schedule(CalendarEvent::RobComplete, c);
         }
         if let Some(c) = self.fetch.next_activity() {
-            consider(c.max(self.now));
+            self.calendar
+                .schedule(CalendarEvent::FetchResume, c.max(self.now));
         }
         if let Some(c) = self.fetch.front_ready_at() {
-            consider(c.max(self.now));
+            self.calendar
+                .schedule(CalendarEvent::FrontReady, c.max(self.now));
         }
         if !self.store_queue.is_empty() {
-            consider(self.store_drain_at.max(self.now + 1));
+            self.calendar.schedule(
+                CalendarEvent::StoreDrain,
+                self.store_drain_at.max(self.now + 1),
+            );
         }
-        if self.cfg.exact_policy_events && self.multi() {
+        if self.multi() {
             // A scheduled policy decision (Δ-window recalculation, cycle
             // quota) is an event too: stopping the jump there keeps
-            // fast-forward runs cycle-exact with ticked ones. Off by
-            // default: historically jumps overshot scheduled decisions
-            // to the next machine event, and the recorded experiment
-            // baselines pin that behaviour (see `MachineConfig`).
+            // fast-forward runs cycle-exact with ticked ones.
             // Clamp to `now`, not `now + 1`: after a no-progress tick
             // `self.now` is the next *unprocessed* cycle, and a decision
-            // due exactly there must suppress the jump (the caller skips
+            // due exactly there must suppress the jump (`step` skips
             // jumps to `now`) so the ordinary tick consults the policy on
             // time rather than one cycle late.
             if let Some(c) = self.policy.next_decision_at(self.current, self.now) {
-                consider(c.max(self.now));
+                self.calendar
+                    .schedule(CalendarEvent::PolicyDecision, c.max(self.now));
             }
         }
-        next
     }
 
-    /// One step with fast-forward jumps clamped to `limit`, so a run
-    /// never overshoots its requested end cycle.
+    /// Revalidates a popped calendar entry against live component state:
+    /// `true` iff the source still wakes at exactly `cycle`. A stale
+    /// entry (its source squashed, switched away, or re-scheduled) is
+    /// superseded and safe to discard, because every quiesce re-schedules
+    /// all live sources before the calendar is consulted.
+    fn event_valid(&self, kind: CalendarEvent, cycle: Cycle) -> bool {
+        if let CoreState::Draining { until, .. } = self.state {
+            return kind == CalendarEvent::DrainDone && cycle == until;
+        }
+        match kind {
+            CalendarEvent::DrainDone => false,
+            CalendarEvent::RobComplete => self.rob.earliest_completion() == Some(cycle),
+            CalendarEvent::FetchResume => {
+                self.fetch.next_activity().map(|c| c.max(self.now)) == Some(cycle)
+            }
+            CalendarEvent::FrontReady => {
+                self.fetch.front_ready_at().map(|c| c.max(self.now)) == Some(cycle)
+            }
+            CalendarEvent::StoreDrain => {
+                !self.store_queue.is_empty() && self.store_drain_at.max(self.now + 1) == cycle
+            }
+            CalendarEvent::PolicyDecision => {
+                self.multi()
+                    && self
+                        .policy
+                        .next_decision_at(self.current, self.now)
+                        .map(|c| c.max(self.now))
+                        == Some(cycle)
+            }
+        }
+    }
+
+    /// One step: tick, and on quiescence advance `now` to the earliest
+    /// live calendar entry (clamped to `limit`, so a run never
+    /// overshoots its requested end cycle).
     fn step(&mut self, limit: Cycle) -> Result<(), SimError> {
         let progress = self.tick();
         if !progress && self.cfg.fast_forward {
-            match self.next_event() {
-                Some(next) if next > self.now => {
-                    self.now = next.min(limit);
+            self.schedule_wake_events();
+            loop {
+                let Some((cycle, kind)) = self.calendar.peek() else {
+                    return Err(SimError::Wedged {
+                        cycle: self.now,
+                        thread: self.current,
+                        rob_len: self.rob.len(),
+                    });
+                };
+                if !self.event_valid(kind, cycle) {
+                    self.calendar.discard_top();
+                    continue;
+                }
+                if cycle > self.now {
+                    self.calendar.dispatch_top();
+                    self.now = cycle.min(limit);
                     if matches!(self.state, CoreState::Running) {
                         // Drain jumps leave `stats.cycles` where ticked
                         // drains left it: it is refreshed by the first
@@ -719,14 +819,10 @@ impl Machine {
                         self.stats.cycles = self.now;
                     }
                 }
-                Some(_) => {}
-                None => {
-                    return Err(SimError::Wedged {
-                        cycle: self.now,
-                        thread: self.current,
-                        rob_len: self.rob.len(),
-                    });
-                }
+                // An entry due exactly at `now` stays on the calendar;
+                // the next tick processes that cycle and the entry is
+                // dispatched (or superseded) afterwards.
+                break;
             }
         }
         Ok(())
@@ -920,13 +1016,12 @@ mod tests {
         use std::rc::Rc;
         // Two-thread SOE run with the tracer attached: jumps must leave
         // the full statistics block and the event stream untouched, not
-        // just the retirement totals. (The fairness-policy variant, which
-        // additionally needs `exact_policy_events`, lives in the root
-        // `fast_forward_invariance` suite — the policy is a client crate.)
+        // just the retirement totals. (The fairness-policy variant lives
+        // in the root `fast_forward_invariance` suite — the policy is a
+        // client crate.)
         let mk = |ff: bool| {
             let mut cfg = MachineConfig::test_config();
             cfg.fast_forward = ff;
-            cfg.exact_policy_events = true;
             let mut m = Machine::new(
                 cfg,
                 vec![

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod calendar;
 pub mod config;
 mod core;
 mod error;
@@ -58,6 +59,7 @@ mod types;
 mod uop;
 
 pub use crate::core::Machine;
+pub use calendar::{Calendar, CalendarEvent, CalendarStats, KindStats};
 pub use config::{
     CacheConfig, ConfigError, MachineConfig, PipelineConfig, PredictorConfig, PredictorKind,
     SoeConfig, TlbConfig,

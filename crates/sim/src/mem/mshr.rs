@@ -1,8 +1,6 @@
 //! Miss status holding registers — outstanding-miss tracking that enables
 //! overlapped (clustered) cache misses.
 
-use std::collections::BTreeMap;
-
 use crate::types::{Addr, Cycle};
 
 /// Tracks in-flight line fills for one cache level.
@@ -12,8 +10,12 @@ use crate::types::{Addr, Cycle};
 /// request. This is the behaviour behind the paper's note that only the
 /// first miss of each overlapped group is counted.
 ///
-/// Entries expire lazily: a registration whose fill time has passed is
-/// treated as free capacity.
+/// Entries expire at query time: every query first clears slots whose
+/// fill time has passed. The eagerness matters — one file is queried at
+/// the per-request access times of its cache level, which are *not*
+/// monotone across requests, and an expiry applied at a later timestamp
+/// must stay applied for a subsequent earlier-timestamp query (the
+/// observable contract of the address-keyed map this file replaced).
 ///
 /// # Examples
 ///
@@ -28,10 +30,12 @@ use crate::types::{Addr, Cycle};
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrFile {
-    capacity: usize,
-    // BTreeMap, not HashMap: `values().min()` ties break identically on
-    // every run, keeping fill timing bit-deterministic.
-    inflight: BTreeMap<Addr, Cycle>,
+    // A fixed slot per MSHR: `(line address, fill cycle)`. A dead slot
+    // is `(0, 0)`; expiry zeroes slots in place, so no query ever
+    // compacts or allocates. The files are small (4-16 slots), making
+    // linear scans cheaper than any map — and index order ties break
+    // identically on every run, keeping fill timing bit-deterministic.
+    slots: Vec<(Addr, Cycle)>,
 }
 
 impl MshrFile {
@@ -43,32 +47,46 @@ impl MshrFile {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "need at least one MSHR");
         Self {
-            capacity,
-            inflight: BTreeMap::new(),
+            slots: vec![(0, 0); capacity],
         }
     }
 
     fn expire(&mut self, now: Cycle) {
-        self.inflight.retain(|_, fill| *fill > now);
+        for s in &mut self.slots {
+            if s.1 <= now {
+                *s = (0, 0);
+            }
+        }
     }
 
     /// If `line_addr` is already being fetched at `now`, returns the cycle
     /// its fill completes.
     pub fn outstanding(&mut self, line_addr: Addr, now: Cycle) -> Option<Cycle> {
         self.expire(now);
-        self.inflight.get(&line_addr).copied()
+        self.slots
+            .iter()
+            .find(|&&(a, f)| a == line_addr && f > now)
+            .map(|&(_, f)| f)
     }
 
     /// Earliest cycle at which a free entry exists, given `now`.
     /// Returns `now` when an entry is free immediately.
     pub fn next_free(&mut self, now: Cycle) -> Cycle {
         self.expire(now);
-        if self.inflight.len() < self.capacity {
+        let mut live = 0;
+        let mut min_fill = Cycle::MAX;
+        for &(_, f) in &self.slots {
+            if f > now {
+                live += 1;
+                min_fill = min_fill.min(f);
+            }
+        }
+        if live < self.slots.len() {
             now
         } else {
-            // The file is full here (len == capacity >= 1), so min()
-            // is always Some; the fallback is unreachable.
-            self.inflight.values().copied().min().unwrap_or(now)
+            // The file is full here (live == capacity >= 1), so a
+            // minimum live fill always exists.
+            min_fill
         }
     }
 
@@ -81,24 +99,47 @@ impl MshrFile {
     /// respect [`MshrFile::next_free`].
     pub fn register(&mut self, line_addr: Addr, start: Cycle, fill_at: Cycle) {
         self.expire(start);
+        let mut live = 0;
+        let mut same_addr = None;
+        let mut free_slot = None;
+        for (i, &(a, f)) in self.slots.iter().enumerate() {
+            if f > start {
+                live += 1;
+                if a == line_addr {
+                    // A live fill for the same line: the registration
+                    // replaces it (the map semantics this file had when
+                    // it was keyed by address).
+                    same_addr = Some(i);
+                }
+            } else if free_slot.is_none() {
+                free_slot = Some(i);
+            }
+        }
         assert!(
-            self.inflight.len() < self.capacity,
+            live < self.slots.len(),
             "MSHR file is full; caller must wait for next_free()"
         );
-        self.inflight.insert(line_addr, fill_at);
+        // `live < capacity` guarantees an expired slot exists.
+        let slot = same_addr.or(free_slot).unwrap_or(0);
+        // soe-lint: allow(slice-index): slot indices come from enumerate() over this vector
+        self.slots[slot] = (line_addr, fill_at);
     }
 
     /// Earliest fill completion strictly after `now`, if any fill is in
-    /// flight — used by the machine's quiescent fast-forward.
+    /// flight — feeds the machine's event calendar.
     pub fn earliest_fill(&mut self, now: Cycle) -> Option<Cycle> {
         self.expire(now);
-        self.inflight.values().copied().min()
+        self.slots
+            .iter()
+            .filter(|&&(_, f)| f > now)
+            .map(|&(_, f)| f)
+            .min()
     }
 
     /// Number of live entries at `now`.
     pub fn len(&mut self, now: Cycle) -> usize {
         self.expire(now);
-        self.inflight.len()
+        self.slots.iter().filter(|&&(_, f)| f > now).count()
     }
 
     /// Whether the file has no live entries at `now`.
@@ -109,7 +150,9 @@ impl MshrFile {
     /// Drops all in-flight entries (used only by tests and machine reset;
     /// SOE thread switches deliberately do *not* cancel fills).
     pub fn clear(&mut self) {
-        self.inflight.clear();
+        for s in &mut self.slots {
+            *s = (0, 0);
+        }
     }
 }
 
@@ -141,6 +184,16 @@ mod tests {
         assert_eq!(m.next_free(50), 200);
         // After 200 the 0x80 entry is gone.
         assert_eq!(m.next_free(200), 200);
+    }
+
+    #[test]
+    fn expiry_applied_at_a_later_time_sticks_for_earlier_queries() {
+        // Query times are not monotone across requests; an entry expired
+        // by a later-timestamp query must stay gone.
+        let mut m = MshrFile::new(2);
+        m.register(0x40, 0, 100);
+        assert_eq!(m.len(150), 0); // expires the entry
+        assert_eq!(m.outstanding(0x40, 50), None, "already expired at 150");
     }
 
     #[test]

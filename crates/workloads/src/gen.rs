@@ -3,7 +3,8 @@
 
 use soe_sim::{Addr, InstrIndex, TraceSource, Uop, UopKind};
 
-use crate::hash::{geometric, mix, unit};
+use crate::fastdiv::FastDiv;
+use crate::hash::{mix, unit, GeometricTable};
 use crate::profile::Profile;
 
 // Salts for the independent random streams.
@@ -59,6 +60,23 @@ pub struct SyntheticTrace {
     profile: Profile,
     base: Addr,
     offset: InstrIndex,
+    /// One dependency-distance inversion table per phase (a single
+    /// entry for stationary profiles), indexed by
+    /// [`Profile::phase_index_at`]. Built once at construction;
+    /// bit-exact with the closed-form draw the generator used to make
+    /// per micro-op.
+    dep_tables: Vec<GeometricTable>,
+    /// Precomputed reciprocals for every profile constant the per-uop
+    /// path divides by — each [`FastDiv`] is exact, so the generated
+    /// stream is bit-identical to the hardware-division form.
+    div_block: FastDiv,
+    div_code: FastDiv,
+    div_span: FastDiv,
+    div_hot: FastDiv,
+    div_warm: FastDiv,
+    div_leaves: FastDiv,
+    /// Reciprocal of the phase-cycle length (`None` when stationary).
+    div_phase_cycle: Option<FastDiv>,
 }
 
 impl SyntheticTrace {
@@ -70,11 +88,54 @@ impl SyntheticTrace {
     /// Panics if the profile is invalid (see [`Profile::validate`]).
     pub fn new(profile: Profile, base: Addr, offset: InstrIndex) -> Self {
         profile.validate();
+        let dep_tables = if profile.phases.is_empty() {
+            vec![GeometricTable::new(profile.mean_dep_dist.max(1.0))]
+        } else {
+            profile
+                .phases
+                .iter()
+                .map(|ph| GeometricTable::new((profile.mean_dep_dist * ph.ilp_scale).max(1.0)))
+                .collect()
+        };
+        let div_block = FastDiv::new(profile.block_len);
+        let div_code = FastDiv::new(profile.code_lines);
+        let div_span = FastDiv::new(profile.code_lines * LINE);
+        let div_hot = FastDiv::new(profile.mem.hot_lines);
+        let div_warm = FastDiv::new(profile.mem.warm_lines);
+        let div_leaves = FastDiv::new((profile.code_lines / 8).max(1));
+        let div_phase_cycle = profile.phase_cycle().map(FastDiv::new);
         Self {
             profile,
             base,
             offset,
+            dep_tables,
+            div_block,
+            div_code,
+            div_span,
+            div_hot,
+            div_warm,
+            div_leaves,
+            div_phase_cycle,
         }
+    }
+
+    /// The phase state the per-uop path needs at position `i`, in one
+    /// walk: `(miss_scale, phase index)` — the split
+    /// [`Profile::phase_at`] / [`Profile::phase_index_at`] pair walks
+    /// the phase list twice and divides by the cycle length twice.
+    fn phase_of(&self, i: InstrIndex) -> (f64, usize) {
+        let Some(cycle) = self.div_phase_cycle else {
+            return (1.0, 0);
+        };
+        let mut pos = cycle.rem(i);
+        for (k, p) in self.profile.phases.iter().enumerate() {
+            if pos < p.len_instrs {
+                return (p.miss_scale, k);
+            }
+            pos -= p.len_instrs;
+        }
+        // soe-lint: allow(panic-reachability): pos < cycle = Σ len_instrs, so one phase must absorb it
+        unreachable!("phase walk covers the cycle")
     }
 
     /// The underlying profile.
@@ -98,20 +159,20 @@ impl SyntheticTrace {
         // programs re-execute the same paths, which is what makes branch
         // prediction and the I-cache work. Within the loop, block starts
         // are scattered pseudo-randomly over the code footprint.
-        let slot = block % p.code_lines;
-        let line = mix(p.seed, slot, SALT_CODE) % p.code_lines;
+        let slot = self.div_code.rem(block);
+        let line = self.div_code.rem(mix(p.seed, slot, SALT_CODE));
         self.base + CODE_REGION + line * LINE
     }
 
-    fn pc_of(&self, i: InstrIndex) -> Addr {
-        let p = &self.profile;
-        let block = i / p.block_len;
-        let within = i % p.block_len;
+    fn pc_of(&self, block: u64, within: u64) -> Addr {
         let start = self.block_start_pc(block);
         // Straight-line code: 4 bytes per micro-op from the block start,
         // wrapped into the code footprint.
-        let span = self.profile.code_lines * LINE;
-        self.base + CODE_REGION + (start - self.base - CODE_REGION + within * 4) % span
+        self.base
+            + CODE_REGION
+            + self
+                .div_span
+                .rem(start - self.base - CODE_REGION + within * 4)
     }
 
     fn data_addr(&self, i: InstrIndex, is_store: bool, miss_scale: f64) -> Addr {
@@ -149,29 +210,29 @@ impl SyntheticTrace {
         }
         let offset = (mix(p.seed, i, SALT_OFFSET) % (LINE / 4)) * 4;
         if (r - cold_prob) / (1.0 - cold_prob).max(1e-12) < p.mem.warm_load_prob {
-            let line = mix(p.seed, i, SALT_WARM) % p.mem.warm_lines;
+            let line = self.div_warm.rem(mix(p.seed, i, SALT_WARM));
             self.base + WARM_REGION + line * LINE + offset
         } else {
-            let line = mix(p.seed, i, SALT_HOT) % p.mem.hot_lines;
+            let line = self.div_hot.rem(mix(p.seed, i, SALT_HOT));
             self.base + HOT_REGION + line * LINE + offset
         }
     }
 
-    fn deps(&self, i: InstrIndex, ilp_scale: f64) -> [u32; 2] {
+    fn deps(&self, i: InstrIndex, phase: usize) -> [u32; 2] {
         let p = &self.profile;
-        let mean = (p.mean_dep_dist * ilp_scale).max(1.0);
-        let d1 = geometric(p.seed, i, SALT_DEP1, mean) as u32;
+        // soe-lint: allow(slice-index): one table per phase is built at construction and phase indices come from Profile::phase_index_at
+        let table = &self.dep_tables[phase];
+        let d1 = table.sample(mix(p.seed, i, SALT_DEP1)) as u32;
         let d2 = if unit(p.seed, i, SALT_DEP2_PRESENT) < 0.4 {
-            geometric(p.seed, i, SALT_DEP2, mean) as u32
+            table.sample(mix(p.seed, i, SALT_DEP2)) as u32
         } else {
             0
         };
         [d1, d2]
     }
 
-    fn branch_uop(&self, i: InstrIndex, pc: Addr) -> Uop {
+    fn branch_uop(&self, i: InstrIndex, block: u64, pc: Addr) -> Uop {
         let p = &self.profile;
-        let block = i / p.block_len;
         let target = self.block_start_pc(block + 1);
         // Whether a branch is well-behaved is a property of the *static*
         // branch (its PC), not of the dynamic instance: predictable
@@ -198,7 +259,7 @@ impl SyntheticTrace {
         if p.call_block_frac == 0.0 {
             return false;
         }
-        let slot = block % p.code_lines;
+        let slot = self.div_code.rem(block);
         unit(p.seed, slot, SALT_CALL_BLOCK) < p.call_block_frac
     }
 
@@ -207,17 +268,16 @@ impl SyntheticTrace {
     /// by `code_lines / 8` distinct leaves.
     fn leaf_pc(&self, block: u64) -> Addr {
         let p = &self.profile;
-        let slot = block % p.code_lines;
-        let leaves = (p.code_lines / 8).max(1);
-        let leaf = mix(p.seed, slot, SALT_LEAF) % leaves;
+        let slot = self.div_code.rem(block);
+        let leaf = self.div_leaves.rem(mix(p.seed, slot, SALT_LEAF));
         self.base + CODE_REGION + (p.code_lines + leaf * 2) * LINE
     }
 
     /// An ordinary (non-control) micro-op at an explicit `pc`.
-    fn plain_uop(&self, i: InstrIndex, pc: Addr, miss_scale: f64, ilp_scale: f64) -> Uop {
+    fn plain_uop(&self, i: InstrIndex, pc: Addr, miss_scale: f64, phase: usize) -> Uop {
         let p = &self.profile;
         let r = unit(p.seed, i, SALT_KIND);
-        let [d1, d2] = self.deps(i, ilp_scale);
+        let [d1, d2] = self.deps(i, phase);
         let m = &p.mix;
         if r < m.load {
             Uop::new(UopKind::Load, pc)
@@ -244,7 +304,7 @@ impl SyntheticTrace {
         block: u64,
         within: u64,
         miss_scale: f64,
-        ilp_scale: f64,
+        phase: usize,
     ) -> Uop {
         let p = &self.profile;
         let base = self.block_start_pc(block);
@@ -252,7 +312,7 @@ impl SyntheticTrace {
         let call_pc = base + call_at * 4;
         let leaf = self.leaf_pc(block);
         if within < call_at {
-            self.plain_uop(i, base + within * 4, miss_scale, ilp_scale)
+            self.plain_uop(i, base + within * 4, miss_scale, phase)
         } else if within == call_at {
             Uop::new(UopKind::Call { target: leaf }, call_pc)
         } else if within == p.block_len - 2 {
@@ -266,10 +326,10 @@ impl SyntheticTrace {
             .with_deps(1, 0)
         } else if within == p.block_len - 1 {
             // Fall-through after the return.
-            self.plain_uop(i, call_pc + 4, miss_scale, ilp_scale)
+            self.plain_uop(i, call_pc + 4, miss_scale, phase)
         } else {
             // Leaf body.
-            self.plain_uop(i, leaf + (within - call_at - 1) * 4, miss_scale, ilp_scale)
+            self.plain_uop(i, leaf + (within - call_at - 1) * 4, miss_scale, phase)
         }
     }
 }
@@ -278,20 +338,19 @@ impl TraceSource for SyntheticTrace {
     fn uop_at(&self, index: InstrIndex) -> Uop {
         let i = index + self.offset;
         let p = &self.profile;
-        let (miss_scale, ilp_scale) = p.phase_at(i);
-        let block = i / p.block_len;
-        let within = i % p.block_len;
+        let (miss_scale, phase) = self.phase_of(i);
+        let (block, within) = self.div_block.div_rem(i);
 
         if self.is_calling_block(block) {
-            return self.calling_block_uop(i, block, within, miss_scale, ilp_scale);
+            return self.calling_block_uop(i, block, within, miss_scale, phase);
         }
 
-        let pc = self.pc_of(i);
+        let pc = self.pc_of(block, within);
         // Every non-calling block ends with a branch.
         if within == p.block_len - 1 {
-            return self.branch_uop(i, pc);
+            return self.branch_uop(i, block, pc);
         }
-        self.plain_uop(i, pc, miss_scale, ilp_scale)
+        self.plain_uop(i, pc, miss_scale, phase)
     }
 
     fn name(&self) -> &str {

@@ -28,6 +28,21 @@ pub fn unit(seed: u64, index: u64, salt: u64) -> f64 {
     (mix(seed, index, salt) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// The number of uniform bits behind [`unit`]; samples live in
+/// `[0, 2^53)`.
+const SAMPLE_BITS: u32 = 53;
+const SAMPLE_LIMIT: u64 = 1 << SAMPLE_BITS;
+
+/// The closed-form inverse CDF on a raw 53-bit sample: the single
+/// source of truth shared by [`geometric`] and [`GeometricTable`].
+#[inline]
+fn geometric_from_sample(sample: u64, mean: f64) -> u64 {
+    let u = sample as f64 * (1.0 / SAMPLE_LIMIT as f64);
+    // Inverse-CDF of a shifted exponential, giving mean ≈ `mean`.
+    let v = 1.0 - (1.0 - u).ln() * (mean - 1.0);
+    v.round().clamp(1.0, 256.0) as u64
+}
+
 /// A geometric-like positive integer with the given mean, derived from
 /// `(seed, index, salt)` — used for dependency distances.
 ///
@@ -37,10 +52,71 @@ pub fn unit(seed: u64, index: u64, salt: u64) -> f64 {
 #[inline]
 pub fn geometric(seed: u64, index: u64, salt: u64, mean: f64) -> u64 {
     assert!(mean >= 1.0, "geometric mean must be at least 1");
-    let u = unit(seed, index, salt);
-    // Inverse-CDF of a shifted exponential, giving mean ≈ `mean`.
-    let v = 1.0 - (1.0 - u).ln() * (mean - 1.0);
-    v.round().clamp(1.0, 256.0) as u64
+    geometric_from_sample(mix(seed, index, salt) >> 11, mean)
+}
+
+/// A precomputed inversion of [`geometric`] for one fixed mean.
+///
+/// The closed form is monotone nondecreasing in the 53-bit uniform
+/// sample, so it is fully described by the 255 sample thresholds at
+/// which the output steps from `k` to `k + 1`. [`GeometricTable::sample`]
+/// recovers the output with a binary search over those thresholds —
+/// bit-exact with the closed form for *every* possible sample (the
+/// thresholds are found by binary search on the closed form itself),
+/// replacing an `ln` per dependency draw with a few table probes.
+#[derive(Clone)]
+pub struct GeometricTable {
+    /// `thresholds[k]` = smallest sample whose output is `>= k + 2`
+    /// (`SAMPLE_LIMIT` when that output is never reached).
+    thresholds: [u64; 255],
+}
+
+impl std::fmt::Debug for GeometricTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GeometricTable").finish_non_exhaustive()
+    }
+}
+
+impl GeometricTable {
+    /// Builds the inversion table for `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean < 1.0`.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean >= 1.0, "geometric mean must be at least 1");
+        let mut thresholds = [SAMPLE_LIMIT; 255];
+        let top = geometric_from_sample(SAMPLE_LIMIT - 1, mean);
+        for (k, slot) in thresholds.iter_mut().enumerate() {
+            let target = k as u64 + 2;
+            if top < target {
+                // Larger outputs are never produced; the remaining
+                // thresholds stay at the never-reached sentinel.
+                break;
+            }
+            // First sample in [0, SAMPLE_LIMIT) whose output reaches
+            // `target`; valid because the closed form is monotone.
+            let (mut lo, mut hi) = (0u64, SAMPLE_LIMIT - 1);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if geometric_from_sample(mid, mean) >= target {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            *slot = lo;
+        }
+        Self { thresholds }
+    }
+
+    /// The table-driven equivalent of [`geometric`]: pass the same
+    /// [`mix`] value and get the identical draw.
+    #[inline]
+    pub fn sample(&self, mixed: u64) -> u64 {
+        let sample = mixed >> 11;
+        1 + self.thresholds.partition_point(|&t| t <= sample) as u64
+    }
 }
 
 #[cfg(test)]
@@ -91,5 +167,53 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn tiny_mean_panics() {
         geometric(0, 0, 0, 0.5);
+    }
+
+    #[test]
+    fn table_matches_closed_form_on_random_draws() {
+        for mean in [1.0, 1.2, 2.0, 3.7, 8.0, 21.0, 300.0] {
+            let table = GeometricTable::new(mean);
+            for i in 0..50_000u64 {
+                let m = mix(17, i, 5);
+                assert_eq!(
+                    table.sample(m),
+                    geometric(17, i, 5, mean),
+                    "mean {mean} index {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_closed_form_at_every_threshold_boundary() {
+        // The strongest check: at each recorded step, the sample one
+        // below and the threshold itself must reproduce the closed
+        // form exactly — so the two agree on the entire sample domain,
+        // not just on sampled points.
+        for mean in [1.0, 1.5, 4.0, 21.0] {
+            let table = GeometricTable::new(mean);
+            for &t in &table.thresholds {
+                for s in [t.saturating_sub(1), t] {
+                    if s >= SAMPLE_LIMIT {
+                        continue;
+                    }
+                    assert_eq!(
+                        table.sample(s << 11),
+                        geometric_from_sample(s, mean),
+                        "mean {mean} sample {s}"
+                    );
+                }
+            }
+            // Domain endpoints.
+            for s in [0, SAMPLE_LIMIT - 1] {
+                assert_eq!(table.sample(s << 11), geometric_from_sample(s, mean));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn table_tiny_mean_panics() {
+        let _ = GeometricTable::new(0.99);
     }
 }

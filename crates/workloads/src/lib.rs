@@ -32,6 +32,7 @@
 
 mod analysis;
 mod checkpoint;
+pub mod fastdiv;
 mod gen;
 pub mod hash;
 mod litfile;

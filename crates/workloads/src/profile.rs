@@ -182,6 +182,26 @@ impl Profile {
         // soe-lint: allow(panic-reachability): pos < cycle = Σ len_instrs, so one phase must absorb it
         unreachable!("phase walk covers the cycle")
     }
+
+    /// Index into [`Profile::phases`] of the phase in effect at dynamic
+    /// instruction `index` (`0` for a stationary profile). Lets callers
+    /// key per-phase precomputed state (e.g. the trace generator's
+    /// dependency-distance tables) off the same walk as
+    /// [`Profile::phase_at`].
+    pub fn phase_index_at(&self, index: u64) -> usize {
+        let Some(cycle) = self.phase_cycle() else {
+            return 0;
+        };
+        let mut pos = index % cycle;
+        for (k, p) in self.phases.iter().enumerate() {
+            if pos < p.len_instrs {
+                return k;
+            }
+            pos -= p.len_instrs;
+        }
+        // soe-lint: allow(panic-reachability): pos < cycle = Σ len_instrs, so one phase must absorb it
+        unreachable!("phase walk covers the cycle")
+    }
 }
 
 #[cfg(test)]

@@ -9,12 +9,8 @@
 //! crate cannot see — the paper's `FairnessPolicy` with its scheduled
 //! Δ-window recalculations and cycle quotas, and the full pair runner.
 //!
-//! All runs here set `MachineConfig::exact_policy_events`, which makes
-//! scheduled policy decision points machine events so jumps stop at
-//! them. Without it, jumps overshoot scheduled decisions to the next
-//! machine event (the historical behaviour the recorded experiment
-//! baselines pin), and enforced-fairness runs would legitimately differ
-//! between the two modes.
+//! Scheduled policy decision points are machine events, so jumps stop
+//! at them and every run is cycle-exact regardless of `fast_forward`.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -32,7 +28,6 @@ use soe_workloads::{InstrMix, MemoryBehavior, Profile, SyntheticTrace};
 /// so a run still sees several Δ recalculations and quota expiries.
 fn cfg(measure_cycles: u64) -> RunConfig {
     let mut cfg = RunConfig::quick();
-    cfg.machine.exact_policy_events = true;
     cfg.warmup_cycles = 30_000;
     cfg.measure_cycles = measure_cycles;
     cfg.fairness.delta = 12_000;
@@ -136,7 +131,6 @@ proptest! {
         let mk = |ff: bool| {
             let mut mc = MachineConfig::test_config();
             mc.fast_forward = ff;
-            mc.exact_policy_events = true;
             let tracer: SharedTracer =
                 Rc::new(RefCell::new(Tracer::new(TraceConfig::default())));
             let policy = FairnessPolicy::new(2, fcfg).with_tracer(Rc::clone(&tracer));

@@ -2,8 +2,7 @@
 //! [`PolicyFactory::builtin`] must pass the same machine-checked
 //! contract at roster sizes 2, 4 and 8 — trace invariants, forced-switch
 //! occupancy floors, per-policy bookkeeping conservation, two-run and
-//! serial==parallel determinism, and `exact_policy_events` fast-forward
-//! invariance. The `registry_and_matrix_agree` guard pins the macro's
+//! serial==parallel determinism, and fast-forward invariance. The `registry_and_matrix_agree` guard pins the macro's
 //! policy list to the registry, so *registering a new policy without
 //! adding it to the matrix fails `cargo test`* — a policy earns its way
 //! into the zoo by passing the contract, not by compiling.
@@ -65,7 +64,6 @@ fn run_contract(policy: &str, n: usize, f: FairnessLevel, fast_forward: bool) ->
         .build(policy, &spec(n, f))
         .unwrap_or_else(|e| panic!("{policy} must build at {n} threads: {e}"));
     let mut mc = MachineConfig::test_config();
-    mc.exact_policy_events = true;
     mc.fast_forward = fast_forward;
     let traces: Vec<Box<dyn TraceSource>> = group_traces(&ROSTER[..n])
         .into_iter()
@@ -260,8 +258,8 @@ fn assert_contract(policy: &str, n: usize) {
         other => panic!("no conservation oracle for {other:?} — add one to join the zoo"),
     }
 
-    // --- Fast-forward invariance: with `exact_policy_events`, a
-    // tick-by-tick run and a jumping run must be indistinguishable.
+    // --- Fast-forward invariance: a tick-by-tick run and a jumping
+    // run must be indistinguishable.
     // Every built-in implements `next_decision_at`, so this holds
     // unconditionally for the whole zoo.
     let tick = run_contract(policy, n, f, false);
@@ -307,7 +305,6 @@ fn downcast<'a, T: 'static>(m: &'a Machine, policy: &str) -> &'a T {
 fn contract_run_config(n: usize, f: FairnessLevel) -> RunConfig {
     let mut cfg = RunConfig::quick();
     cfg.machine = MachineConfig::test_config();
-    cfg.machine.exact_policy_events = true;
     cfg.warmup_cycles = 20_000 * n as u64;
     cfg.measure_cycles = MEASURE;
     cfg.fairness = sizing(n, f);

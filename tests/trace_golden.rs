@@ -48,8 +48,8 @@ fn quick_capture_artifacts_match_golden_digests() {
     assert_eq!(got.5, GOLDEN_METRICS, "metrics CSV drifted");
 }
 
-const GOLDEN_EVENTS: u64 = 9554;
-const GOLDEN_JSONL: u64 = 0xb60c_f971_0fab_a744;
-const GOLDEN_CHROME: u64 = 0x4f3a_2f38_9655_3c54;
-const GOLDEN_SERIES: u64 = 0xc095_3a82_9f77_3eb3;
-const GOLDEN_METRICS: u64 = 0x01aa_6815_555d_9782;
+const GOLDEN_EVENTS: u64 = 9523;
+const GOLDEN_JSONL: u64 = 0x2797_c118_103e_66cd;
+const GOLDEN_CHROME: u64 = 0x31c3_9c67_25e4_aff1;
+const GOLDEN_SERIES: u64 = 0x27b2_ede3_2e84_3179;
+const GOLDEN_METRICS: u64 = 0xab86_d186_9c57_252b;
